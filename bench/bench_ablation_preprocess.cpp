@@ -1,0 +1,59 @@
+// Ablation E12: the scalable cycle-union preprocessing of Section 7 —
+// per-start forward/backward temporal reachability intersection — on vs off,
+// plus 2SCENT's sequential preprocessing cost for contrast.
+#include <iostream>
+
+#include "bench_support/datasets.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+#include "support/stats.hpp"
+#include "temporal/two_scent.hpp"
+
+using namespace parcycle;
+
+int main() {
+  std::cout << "=== Ablation: cycle-union preprocessing (temporal Johnson, "
+               "serial) ===\n\n";
+  TextTable table({"graph", "cycles", "with union", "without", "visits with",
+                   "visits without", "2SCENT phase1", "seeds/edges"});
+
+  Scheduler sched(1);
+  for (const char* name : {"BA", "BO", "CO", "EM", "MO"}) {
+    const auto& spec = dataset_by_name(name);
+    const TemporalGraph graph = build_dataset(spec);
+    const Timestamp window = calibrate_window(graph, /*temporal=*/true);
+
+    EnumOptions with_union;
+    with_union.use_cycle_union = true;
+    EnumOptions without_union;
+    without_union.use_cycle_union = false;
+
+    const auto on = run_temporal(Algo::kSerialJohnson, graph, window, sched,
+                                 with_union);
+    const auto off = run_temporal(Algo::kSerialJohnson, graph, window, sched,
+                                  without_union);
+    if (on.result.num_cycles != off.result.num_cycles) {
+      std::cerr << "MISMATCH on " << spec.name << "\n";
+      return 1;
+    }
+    WallTimer phase1_timer;
+    TwoScentStats stats;
+    (void)two_scent_seed_edges(graph, window, &stats);
+    const double phase1_seconds = phase1_timer.elapsed_seconds();
+
+    table.add_row(
+        {spec.name, TextTable::count(on.result.num_cycles),
+         TextTable::with_unit(on.seconds), TextTable::with_unit(off.seconds),
+         TextTable::count(on.result.work.edges_visited),
+         TextTable::count(off.result.work.edges_visited),
+         TextTable::with_unit(phase1_seconds),
+         TextTable::fixed(static_cast<double>(stats.seed_edges) /
+                              static_cast<double>(graph.num_edges()),
+                          3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe union never changes results, only prunes dead starting "
+               "edges; 2SCENT's phase 1 finds the same dead starts but "
+               "serially and with O(summary) memory.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the substrate kernels: deque
+// operations, scheduler fork-join overhead, state copy/repair costs, and the
+// graph window queries the hot loops depend on.
+#include <benchmark/benchmark.h>
+
+#include "core/johnson_state.hpp"
+#include "core/rt_state.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "support/chase_lev_deque.hpp"
+#include "support/dynamic_bitset.hpp"
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+namespace {
+
+void BM_DequePushPop(benchmark::State& state) {
+  ChaseLevDeque<int> deque;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      deque.push(i);
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(deque.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_SchedulerForkJoin(benchmark::State& state) {
+  Scheduler sched(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    TaskGroup group(sched);
+    for (int i = 0; i < 256; ++i) {
+      group.spawn([] {});
+    }
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SchedulerForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BitsetSetTest(benchmark::State& state) {
+  DynamicBitset bits(100000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bits.set(i % 100000);
+    benchmark::DoNotOptimize(bits.test((i * 31) % 100000));
+    i += 97;
+  }
+}
+BENCHMARK(BM_BitsetSetTest);
+
+void BM_WindowQuery(benchmark::State& state) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 2000;
+  params.num_edges = 40000;
+  params.seed = 9;
+  const TemporalGraph graph = scale_free_temporal(params);
+  VertexId v = 0;
+  Timestamp t = 0;
+  for (auto _ : state) {
+    const auto window = graph.out_edges_in_window(v, t, t + 10000);
+    benchmark::DoNotOptimize(window.size());
+    v = (v + 7) % graph.num_vertices();
+    t = (t + 997) % 900000;
+  }
+}
+BENCHMARK(BM_WindowQuery);
+
+void BM_JohnsonStateCopy(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  JohnsonState victim(n);
+  // Populate a realistic mid-search state: a path plus blocked bookkeeping.
+  for (VertexId v = 0; v < n / 4; ++v) {
+    victim.push(v, kInvalidEdge);
+  }
+  for (VertexId v = n / 4; v < n / 2; ++v) {
+    victim.exit_failure(v, 100);
+    victim.blist_add((v + 1) % n, v);
+  }
+  JohnsonState thief(n);
+  for (auto _ : state) {
+    thief.reset();
+    thief.copy_from(victim);
+    thief.repair_to_prefix(n / 8);
+    benchmark::DoNotOptimize(thief.path_length());
+  }
+}
+BENCHMARK(BM_JohnsonStateCopy)->Arg(1024)->Arg(16384);
+
+void BM_ReadTarjanPrefixCopy(benchmark::State& state) {
+  const VertexId n = static_cast<VertexId>(state.range(0));
+  ReadTarjanState victim(n);
+  for (VertexId v = 0; v < n / 4; ++v) {
+    victim.push(v, kInvalidEdge);
+    victim.logged_set((v + n / 2) % n, 5);
+  }
+  ReadTarjanState thief(n);
+  for (auto _ : state) {
+    thief.reset();
+    thief.copy_prefix_from(victim, n / 8, n / 8);
+    benchmark::DoNotOptimize(thief.path_length());
+  }
+}
+BENCHMARK(BM_ReadTarjanPrefixCopy)->Arg(1024)->Arg(16384);
+
+void BM_SccTarjan(benchmark::State& state) {
+  const Digraph graph = erdos_renyi(5000, 25000, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strongly_connected_components(graph));
+  }
+}
+BENCHMARK(BM_SccTarjan);
+
+}  // namespace
+}  // namespace parcycle
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Maintenance utility (not a paper artifact): probes cycle counts and serial
+// runtimes across candidate window sizes so the dataset registry's windows
+// can be pinned to a regime comparable with the paper's (enough cycles to
+// matter, seconds-scale serial runtimes).
+//
+//   ./bench_tune_windows [dataset ...]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/datasets.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+
+using namespace parcycle;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    names.emplace_back(argv[i]);
+  }
+  if (names.empty()) {
+    names = {"BA"};  // pass dataset names to probe more
+  }
+  Scheduler sched(1);
+  for (const auto& name : names) {
+    const auto& spec = dataset_by_name(name);
+    const TemporalGraph graph = build_dataset(spec);
+    std::cout << "--- " << name << " (span " << graph.time_span() << ") ---\n";
+    for (const double fraction : {0.02, 0.05, 0.1, 0.15, 0.25}) {
+      const auto window = static_cast<Timestamp>(
+          fraction * static_cast<double>(graph.time_span()));
+      const auto simple =
+          run_windowed_simple(Algo::kSerialJohnson, graph, window, sched);
+      std::cout << "  w/span=" << fraction << " simple: "
+                << TextTable::count(simple.result.num_cycles) << " in "
+                << TextTable::with_unit(simple.seconds) << std::flush;
+      const auto temporal =
+          run_temporal(Algo::kSerialJohnson, graph, window, sched);
+      std::cout << " | temporal: "
+                << TextTable::count(temporal.result.num_cycles) << " in "
+                << TextTable::with_unit(temporal.seconds) << "\n"
+                << std::flush;
+      if (simple.seconds + temporal.seconds > 30.0) {
+        break;  // past the per-run budget; larger windows only get worse
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Deadlock / dependency-loop detection: enumerate simple cycles of a static
+// wait-for graph (the classic systems application of cycle enumeration; the
+// paper cites software bug tracking and EDA loop breaking as instances).
+//
+// Builds a synthetic lock wait-for graph, reports every dependency cycle and
+// the minimal set of edges whose removal breaks them all (greedy hitting
+// set over the enumerated cycles).
+//
+//   ./examples/deadlock_detection
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/johnson.hpp"
+#include "graph/builder.hpp"
+
+int main() {
+  using namespace parcycle;
+
+  // Threads T0..T7 waiting on locks held by other threads (wait-for edges).
+  GraphBuilder builder(8);
+  builder.add_edge(0, 1);  // T0 waits for T1
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 0);  // deadlock: T0 -> T1 -> T2 -> T0
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  builder.add_edge(4, 2);  // second loop sharing T2
+  builder.add_edge(4, 5);
+  builder.add_edge(5, 6);
+  builder.add_edge(6, 7);  // no loop here
+  builder.add_edge(5, 3);  // third loop: T3 -> T4 -> T5 -> T3
+  const Digraph wait_for = builder.build_digraph();
+
+  CollectingSink sink;
+  const EnumResult result = johnson_simple_cycles(wait_for, {}, &sink);
+  std::cout << "dependency cycles (potential deadlocks): "
+            << result.num_cycles << "\n";
+  const auto cycles = sink.sorted_cycles();
+  for (const auto& cycle : cycles) {
+    std::cout << "  ";
+    for (const VertexId v : cycle.vertices) {
+      std::cout << "T" << v << " -> ";
+    }
+    std::cout << "T" << cycle.vertices.front() << "\n";
+  }
+
+  // Greedy cycle breaking: repeatedly remove the edge on the most cycles.
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> cycle_edges;
+  for (const auto& cycle : cycles) {
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (std::size_t i = 0; i < cycle.vertices.size(); ++i) {
+      edges.emplace_back(cycle.vertices[i],
+                         cycle.vertices[(i + 1) % cycle.vertices.size()]);
+    }
+    cycle_edges.push_back(std::move(edges));
+  }
+  std::vector<bool> broken(cycle_edges.size(), false);
+  std::cout << "suggested wait-for edges to break:\n";
+  while (true) {
+    std::map<std::pair<VertexId, VertexId>, std::size_t> frequency;
+    for (std::size_t c = 0; c < cycle_edges.size(); ++c) {
+      if (!broken[c]) {
+        for (const auto& edge : cycle_edges[c]) {
+          frequency[edge] += 1;
+        }
+      }
+    }
+    if (frequency.empty()) {
+      break;
+    }
+    const auto best = std::max_element(
+        frequency.begin(), frequency.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::cout << "  T" << best->first.first << " -> T" << best->first.second
+              << " (breaks " << best->second << " cycles)\n";
+    for (std::size_t c = 0; c < cycle_edges.size(); ++c) {
+      if (!broken[c]) {
+        for (const auto& edge : cycle_edges[c]) {
+          if (edge == best->first) {
+            broken[c] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fraud-detection scenario (the paper's motivating application): find
+// temporal cycles in a synthetic payment network — money leaving an account
+// and returning to it through a chain of time-ordered transfers is a strong
+// money-laundering / circular-trading signal.
+//
+//   ./examples/fraud_detection [num_accounts] [num_transfers]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "support/scheduler.hpp"
+#include "temporal/temporal_johnson.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcycle;
+
+  const VertexId accounts =
+      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 2000;
+  const std::size_t transfers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20000;
+
+  // Synthetic payment network: heavy-tailed activity (a few busy accounts),
+  // bursty timestamps — the shape of real transaction graphs.
+  ScaleFreeTemporalParams params;
+  params.num_vertices = accounts;
+  params.num_edges = transfers;
+  params.time_span = 30L * 24 * 3600;  // one month of seconds
+  params.attachment = 0.75;
+  params.burstiness = 0.6;
+  params.seed = 2024;
+  const TemporalGraph payments = scale_free_temporal(params);
+
+  const Timestamp window = 48 * 3600;  // cycles completing within 48 hours
+  std::cout << "payment network: " << payments.num_vertices() << " accounts, "
+            << payments.num_edges() << " transfers over "
+            << payments.time_span() / (24 * 3600) << " days\n"
+            << "searching temporal cycles within a 48h window...\n\n";
+
+  // Short cycles are the interesting ones for an analyst: cap the length.
+  EnumOptions options;
+  options.max_cycle_length = 6;
+
+  CollectingSink sink;
+  Scheduler sched(4);
+  const EnumResult result =
+      fine_temporal_johnson_cycles(payments, window, sched, options, {}, &sink);
+
+  std::cout << "suspicious cycles found: " << result.num_cycles << "\n";
+
+  // Rank accounts by how many cycles they participate in.
+  std::map<VertexId, std::size_t> involvement;
+  std::map<std::size_t, std::size_t> length_histogram;
+  for (const CycleRecord& cycle : sink.sorted_cycles()) {
+    length_histogram[cycle.vertices.size()] += 1;
+    for (const VertexId account : cycle.vertices) {
+      involvement[account] += 1;
+    }
+  }
+  std::cout << "cycle length histogram:\n";
+  for (const auto& [length, count] : length_histogram) {
+    std::cout << "  length " << length << ": " << count << "\n";
+  }
+
+  std::vector<std::pair<std::size_t, VertexId>> ranked;
+  ranked.reserve(involvement.size());
+  for (const auto& [account, count] : involvement) {
+    ranked.emplace_back(count, account);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::cout << "top accounts by cycle involvement:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+    std::cout << "  account " << ranked[i].second << ": " << ranked[i].first
+              << " cycles\n";
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Command-line front end: enumerate cycles of an edge-list file with any of
+// the library's algorithms — the tool a downstream user reaches for first.
+//
+//   parcycle_cli <edge-list> [options]
+//     --mode simple|windowed|temporal   (default temporal)
+//     --window N                        (required for windowed/temporal)
+//     --algo serial-johnson|serial-rt|fine-johnson|fine-rt|coarse-johnson|
+//            coarse-rt|tiernan|2scent|brute   (default fine-johnson)
+//     --threads N                       (default 4)
+//     --max-length N                    (0 = unbounded)
+//     --no-cycle-union --no-bundling
+//     --print                           (print every cycle)
+//
+// The edge-list format is SNAP-style: "src dst [timestamp]" per line, '#'
+// comments allowed.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/coarse_grained.hpp"
+#include "core/fine_johnson.hpp"
+#include "core/fine_read_tarjan.hpp"
+#include "core/johnson.hpp"
+#include "core/read_tarjan.hpp"
+#include "core/tiernan.hpp"
+#include "graph/io.hpp"
+#include "support/scheduler.hpp"
+#include "support/stats.hpp"
+#include "temporal/brute.hpp"
+#include "temporal/temporal_johnson.hpp"
+#include "temporal/temporal_read_tarjan.hpp"
+#include "temporal/two_scent.hpp"
+
+namespace {
+
+// Prints each cycle as "v0 -> v1 -> ... -> v0 [edge ids]".
+class PrintingSink final : public parcycle::CycleSink {
+ public:
+  void on_cycle(std::span<const parcycle::VertexId> vertices,
+                std::span<const parcycle::EdgeId> edges) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto v : vertices) {
+      std::cout << v << " -> ";
+    }
+    std::cout << vertices.front();
+    if (!edges.empty()) {
+      std::cout << "  [edges:";
+      for (const auto e : edges) {
+        std::cout << " " << e;
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+int usage() {
+  std::cerr << "usage: parcycle_cli <edge-list> [--mode simple|windowed|"
+               "temporal] [--window N]\n"
+               "  [--algo fine-johnson|fine-rt|coarse-johnson|coarse-rt|"
+               "serial-johnson|serial-rt|tiernan|2scent|brute]\n"
+               "  [--threads N] [--max-length N] [--no-cycle-union] "
+               "[--no-bundling] [--print]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parcycle;
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string path = argv[1];
+  std::string mode = "temporal";
+  std::string algo = "fine-johnson";
+  Timestamp window = -1;
+  unsigned threads = 4;
+  EnumOptions options;
+  bool print = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--mode") {
+      mode = next() ? argv[i] : "";
+    } else if (arg == "--algo") {
+      algo = next() ? argv[i] : "";
+    } else if (arg == "--window") {
+      window = next() ? std::atoll(argv[i]) : -1;
+    } else if (arg == "--threads") {
+      threads = next() ? static_cast<unsigned>(std::atoi(argv[i])) : 4;
+    } else if (arg == "--max-length") {
+      options.max_cycle_length = next() ? std::atoi(argv[i]) : 0;
+    } else if (arg == "--no-cycle-union") {
+      options.use_cycle_union = false;
+    } else if (arg == "--no-bundling") {
+      options.path_bundling = false;
+    } else if (arg == "--print") {
+      print = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  TemporalGraph graph;
+  try {
+    graph = load_temporal_edge_list_file(path);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  std::cerr << "loaded " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges, time span " << graph.time_span()
+            << "\n";
+  if (mode != "simple" && window < 0) {
+    std::cerr << "error: --window is required for mode " << mode << "\n";
+    return usage();
+  }
+
+  PrintingSink printer;
+  CycleSink* sink = print ? &printer : nullptr;
+  Scheduler sched(threads);
+  WallTimer timer;
+  EnumResult result;
+
+  if (mode == "simple") {
+    const Digraph digraph = graph.static_projection();
+    if (algo == "serial-johnson" || algo == "fine-johnson") {
+      result = johnson_simple_cycles(digraph, options, sink);
+    } else if (algo == "serial-rt" || algo == "fine-rt") {
+      result = read_tarjan_simple_cycles(digraph, options, sink);
+    } else if (algo == "coarse-johnson") {
+      result = coarse_johnson_simple_cycles(digraph, sched, options, sink);
+    } else if (algo == "coarse-rt") {
+      result = coarse_read_tarjan_simple_cycles(digraph, sched, options, sink);
+    } else if (algo == "tiernan") {
+      result = tiernan_simple_cycles(digraph, options, sink);
+    } else {
+      std::cerr << "algo " << algo << " unavailable in simple mode\n";
+      return usage();
+    }
+  } else if (mode == "windowed") {
+    if (algo == "fine-johnson") {
+      result = fine_johnson_windowed_cycles(graph, window, sched, options, {},
+                                            sink);
+    } else if (algo == "fine-rt") {
+      result = fine_read_tarjan_windowed_cycles(graph, window, sched, options,
+                                                {}, sink);
+    } else if (algo == "coarse-johnson") {
+      result = coarse_johnson_windowed_cycles(graph, window, sched, options,
+                                              sink);
+    } else if (algo == "coarse-rt") {
+      result = coarse_read_tarjan_windowed_cycles(graph, window, sched,
+                                                  options, sink);
+    } else if (algo == "serial-johnson") {
+      result = johnson_windowed_cycles(graph, window, options, sink);
+    } else if (algo == "serial-rt") {
+      result = read_tarjan_windowed_cycles(graph, window, options, sink);
+    } else if (algo == "tiernan") {
+      result = tiernan_windowed_cycles(graph, window, options, sink);
+    } else {
+      std::cerr << "algo " << algo << " unavailable in windowed mode\n";
+      return usage();
+    }
+  } else if (mode == "temporal") {
+    if (algo == "fine-johnson") {
+      result = fine_temporal_johnson_cycles(graph, window, sched, options, {},
+                                            sink);
+    } else if (algo == "fine-rt") {
+      result = fine_temporal_read_tarjan_cycles(graph, window, sched, options,
+                                                {}, sink);
+    } else if (algo == "coarse-johnson") {
+      result = coarse_temporal_johnson_cycles(graph, window, sched, options,
+                                              sink);
+    } else if (algo == "coarse-rt") {
+      result = coarse_temporal_read_tarjan_cycles(graph, window, sched,
+                                                  options, sink);
+    } else if (algo == "serial-johnson") {
+      result = temporal_johnson_cycles(graph, window, options, sink);
+    } else if (algo == "serial-rt") {
+      result = temporal_read_tarjan_cycles(graph, window, options, sink);
+    } else if (algo == "2scent") {
+      result = two_scent_cycles(graph, window, options, sink);
+    } else if (algo == "brute") {
+      result = brute_temporal_cycles(graph, window, options, sink);
+    } else {
+      std::cerr << "algo " << algo << " unavailable in temporal mode\n";
+      return usage();
+    }
+  } else {
+    std::cerr << "unknown mode: " << mode << "\n";
+    return usage();
+  }
+
+  const double seconds = timer.elapsed_seconds();
+  std::cerr << "cycles: " << result.num_cycles << "\n"
+            << "edges visited: " << result.work.edges_visited << "\n"
+            << "tasks spawned: " << result.work.tasks_spawned << "\n"
+            << "time: " << seconds << "s\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small temporal graph, enumerate its cycles three ways
+// (static simple, windowed simple, temporal), serially and in parallel.
+//
+//   ./examples/quickstart
+#include <iostream>
+
+#include "core/fine_johnson.hpp"
+#include "core/johnson.hpp"
+#include "graph/builder.hpp"
+#include "support/scheduler.hpp"
+#include "temporal/temporal_johnson.hpp"
+
+int main() {
+  using namespace parcycle;
+
+  // A toy transaction history: account -> account transfers with timestamps.
+  GraphBuilder builder;
+  builder.add_edge(0, 1, 10);  // 0 pays 1 at t=10
+  builder.add_edge(1, 2, 20);
+  builder.add_edge(2, 0, 30);  // money returns to 0: temporal cycle
+  builder.add_edge(2, 3, 35);
+  builder.add_edge(3, 1, 40);  // 1 -> 2 -> 3 -> 1: second loop
+  builder.add_edge(1, 2, 45);  // later parallel transfer
+  const TemporalGraph graph = builder.build_temporal();
+
+  // 1. All simple cycles of the static structure (timestamps ignored).
+  const Digraph static_graph = graph.static_projection();
+  const EnumResult static_cycles = johnson_simple_cycles(static_graph);
+  std::cout << "simple cycles (static):          " << static_cycles.num_cycles
+            << "\n";
+
+  // 2. Simple cycles whose timestamps fit in a sliding window of size 25.
+  const EnumResult windowed = johnson_windowed_cycles(graph, 25);
+  std::cout << "simple cycles (window 25):       " << windowed.num_cycles
+            << "\n";
+
+  // 3. Temporal cycles: edges strictly ordered in time, window 25. Collect
+  //    them explicitly through a sink this time.
+  CollectingSink sink;
+  const EnumResult temporal = temporal_johnson_cycles(graph, 25, {}, &sink);
+  std::cout << "temporal cycles (window 25):     " << temporal.num_cycles
+            << "\n";
+  for (const CycleRecord& cycle : sink.sorted_cycles()) {
+    std::cout << "  cycle:";
+    for (const VertexId v : cycle.vertices) {
+      std::cout << " " << v;
+    }
+    std::cout << "  (edge ids:";
+    for (const EdgeId e : cycle.edges) {
+      std::cout << " " << e;
+    }
+    std::cout << ")\n";
+  }
+
+  // 4. The same temporal enumeration with the fine-grained parallel
+  //    algorithm: construct a scheduler and pass it in. Results and sinks
+  //    behave identically; on a big graph this is where the speedup lives.
+  Scheduler sched(4);
+  const EnumResult parallel = fine_temporal_johnson_cycles(graph, 25, sched);
+  std::cout << "temporal cycles (4 threads):     " << parallel.num_cycles
+            << "\n"
+            << "edges visited by the search:     "
+            << parallel.work.edges_visited << "\n";
+  return parallel.num_cycles == temporal.num_cycles ? 0 : 1;
+}

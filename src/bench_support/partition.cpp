@@ -1,0 +1,42 @@
+#include "bench_support/partition.hpp"
+
+#include <algorithm>
+
+namespace parcycle {
+
+std::vector<std::vector<EdgeId>> partition_starting_edges(
+    const TemporalGraph& graph, unsigned num_processors) {
+  num_processors = std::max(num_processors, 1u);
+  std::vector<std::vector<EdgeId>> ranks(num_processors);
+  const auto edges = graph.edges_by_time();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ranks[i % num_processors].push_back(edges[i].id);
+  }
+  return ranks;
+}
+
+PartitionBalance evaluate_partition(
+    const std::vector<std::vector<EdgeId>>& partition,
+    const std::vector<SimJob>& start_costs) {
+  PartitionBalance balance;
+  balance.rank_cost.resize(partition.size(), 0.0);
+  for (std::size_t rank = 0; rank < partition.size(); ++rank) {
+    for (const EdgeId id : partition[rank]) {
+      if (id < start_costs.size()) {
+        balance.rank_cost[rank] += start_costs[id].cost;
+      }
+    }
+  }
+  double max_cost = 0.0;
+  double sum = 0.0;
+  for (const double cost : balance.rank_cost) {
+    max_cost = std::max(max_cost, cost);
+    sum += cost;
+  }
+  const double average =
+      partition.empty() ? 0.0 : sum / static_cast<double>(partition.size());
+  balance.imbalance = average > 0.0 ? max_cost / average : 1.0;
+  return balance;
+}
+
+}  // namespace parcycle

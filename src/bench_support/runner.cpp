@@ -1,0 +1,208 @@
+#include "bench_support/runner.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/coarse_grained.hpp"
+#include "core/fine_johnson.hpp"
+#include "core/fine_read_tarjan.hpp"
+#include "core/johnson.hpp"
+#include "core/johnson_impl.hpp"
+#include "core/read_tarjan.hpp"
+#include "support/stats.hpp"
+#include "temporal/temporal_johnson.hpp"
+#include "temporal/temporal_johnson_impl.hpp"
+#include "temporal/temporal_read_tarjan.hpp"
+#include "temporal/two_scent.hpp"
+
+namespace parcycle {
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kFineJohnson:
+      return "fine-Johnson";
+    case Algo::kFineReadTarjan:
+      return "fine-Read-Tarjan";
+    case Algo::kCoarseJohnson:
+      return "coarse-Johnson";
+    case Algo::kCoarseReadTarjan:
+      return "coarse-Read-Tarjan";
+    case Algo::kSerialJohnson:
+      return "serial-Johnson";
+    case Algo::kSerialReadTarjan:
+      return "serial-Read-Tarjan";
+    case Algo::kTwoScent:
+      return "2SCENT";
+  }
+  return "?";
+}
+
+RunOutcome run_windowed_simple(Algo algo, const TemporalGraph& graph,
+                               Timestamp window, Scheduler& sched,
+                               const EnumOptions& options,
+                               const ParallelOptions& popts) {
+  RunOutcome outcome;
+  WallTimer timer;
+  switch (algo) {
+    case Algo::kFineJohnson:
+      outcome.result =
+          fine_johnson_windowed_cycles(graph, window, sched, options, popts);
+      break;
+    case Algo::kFineReadTarjan:
+      outcome.result = fine_read_tarjan_windowed_cycles(graph, window, sched,
+                                                        options, popts);
+      break;
+    case Algo::kCoarseJohnson:
+      outcome.result =
+          coarse_johnson_windowed_cycles(graph, window, sched, options);
+      break;
+    case Algo::kCoarseReadTarjan:
+      outcome.result =
+          coarse_read_tarjan_windowed_cycles(graph, window, sched, options);
+      break;
+    case Algo::kSerialJohnson:
+      outcome.result = johnson_windowed_cycles(graph, window, options);
+      break;
+    case Algo::kSerialReadTarjan:
+      outcome.result = read_tarjan_windowed_cycles(graph, window, options);
+      break;
+    case Algo::kTwoScent:
+      throw std::invalid_argument("2SCENT enumerates temporal cycles only");
+  }
+  outcome.seconds = timer.elapsed_seconds();
+  return outcome;
+}
+
+RunOutcome run_temporal(Algo algo, const TemporalGraph& graph,
+                        Timestamp window, Scheduler& sched,
+                        const EnumOptions& options,
+                        const ParallelOptions& popts) {
+  RunOutcome outcome;
+  WallTimer timer;
+  switch (algo) {
+    case Algo::kFineJohnson:
+      outcome.result =
+          fine_temporal_johnson_cycles(graph, window, sched, options, popts);
+      break;
+    case Algo::kFineReadTarjan:
+      outcome.result = fine_temporal_read_tarjan_cycles(graph, window, sched,
+                                                        options, popts);
+      break;
+    case Algo::kCoarseJohnson:
+      outcome.result =
+          coarse_temporal_johnson_cycles(graph, window, sched, options);
+      break;
+    case Algo::kCoarseReadTarjan:
+      outcome.result =
+          coarse_temporal_read_tarjan_cycles(graph, window, sched, options);
+      break;
+    case Algo::kSerialJohnson:
+      outcome.result = temporal_johnson_cycles(graph, window, options);
+      break;
+    case Algo::kSerialReadTarjan:
+      outcome.result = temporal_read_tarjan_cycles(graph, window, options);
+      break;
+    case Algo::kTwoScent:
+      outcome.result = two_scent_cycles(graph, window, options);
+      break;
+  }
+  outcome.seconds = timer.elapsed_seconds();
+  return outcome;
+}
+
+StartCosts collect_temporal_start_costs(const TemporalGraph& graph,
+                                        Timestamp window,
+                                        const EnumOptions& options) {
+  StartCosts costs;
+  detail::TemporalJohnsonSearch search(graph, window, options, nullptr);
+  ClosingTimeState state(graph.num_vertices());
+  TemporalReachScratch reach;
+  reach.init(graph.num_vertices());
+  costs.jobs.reserve(graph.num_edges());
+  for (const auto& e0 : graph.edges_by_time()) {
+    double cost = 0.0;
+    if (e0.src != e0.dst) {
+      search.search_from(e0, state, &reach);
+      cost = static_cast<double>(state.counters.edges_visited +
+                                 state.counters.vertices_visited + 1);
+    }
+    // Critical-path proxy: one DFS chain of the search (O(n + e) per the
+    // paper's Lemma 1); approximated by sqrt of the cost, floored at 1.
+    costs.jobs.push_back(SimJob{cost, cost > 0.0 ? std::sqrt(cost) : 0.0});
+    costs.total_cost += cost;
+    costs.max_cost = std::max(costs.max_cost, cost);
+  }
+  return costs;
+}
+
+StartCosts collect_windowed_simple_start_costs(const TemporalGraph& graph,
+                                               Timestamp window,
+                                               const EnumOptions& options) {
+  StartCosts costs;
+  detail::WindowedJohnsonSearch search(graph, window, options, nullptr);
+  JohnsonState state(graph.num_vertices());
+  CycleUnionScratch cycle_union;
+  cycle_union.init(graph.num_vertices());
+  costs.jobs.reserve(graph.num_edges());
+  for (const auto& e0 : graph.edges_by_time()) {
+    double cost = 0.0;
+    if (e0.src != e0.dst) {
+      search.search_from(e0, state, &cycle_union);
+      cost = static_cast<double>(state.counters.edges_visited +
+                                 state.counters.vertices_visited + 1);
+    }
+    costs.jobs.push_back(SimJob{cost, cost > 0.0 ? std::sqrt(cost) : 0.0});
+    costs.total_cost += cost;
+    costs.max_cost = std::max(costs.max_cost, cost);
+  }
+  return costs;
+}
+
+Timestamp calibrate_window(const TemporalGraph& graph, bool temporal,
+                           std::uint64_t target_cycles, double time_budget_s) {
+  Scheduler* existing = Scheduler::current();
+  // Probes are serial; reuse the caller's scheduler context if present.
+  std::unique_ptr<Scheduler> owned;
+  if (existing == nullptr) {
+    owned = std::make_unique<Scheduler>(1);
+    existing = owned.get();
+  }
+  Timestamp window = std::max<Timestamp>(graph.time_span() / 64, 1);
+  Timestamp best = window;
+  Timestamp previous = window;
+  while (window <= graph.time_span()) {
+    const RunOutcome probe =
+        temporal ? run_temporal(Algo::kSerialJohnson, graph, window, *existing)
+                 : run_windowed_simple(Algo::kSerialJohnson, graph, window,
+                                       *existing);
+    best = window;
+    if (probe.result.num_cycles >= target_cycles ||
+        probe.seconds > time_budget_s) {
+      // The count is extremely steep in the window; if this step shot far
+      // past the target regime, settle for the previous window.
+      if (probe.result.num_cycles > 50 * target_cycles ||
+          probe.seconds > 8.0 * time_budget_s) {
+        best = previous;
+      }
+      break;
+    }
+    previous = window;
+    // Small growth factor for the same steepness reason.
+    window = std::max<Timestamp>(window + window / 4, window + 1);
+  }
+  return best;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (const double value : values) {
+    log_sum += std::log(std::max(value, 1e-12));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace parcycle

@@ -1,0 +1,79 @@
+#include "bench_support/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace parcycle {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      out << (c + 1 < cells.size() ? " | " : " |\n");
+    }
+  };
+  print_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TextTable::fixed(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+std::string TextTable::with_unit(double seconds) {
+  std::ostringstream stream;
+  stream << std::fixed;
+  if (seconds < 1e-3) {
+    stream << std::setprecision(1) << seconds * 1e6 << "us";
+  } else if (seconds < 1.0) {
+    stream << std::setprecision(1) << seconds * 1e3 << "ms";
+  } else {
+    stream << std::setprecision(2) << seconds << "s";
+  }
+  return stream.str();
+}
+
+std::string TextTable::count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string grouped;
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      grouped.push_back(',');
+    }
+    grouped.push_back(digits[i]);
+  }
+  return grouped;
+}
+
+}  // namespace parcycle

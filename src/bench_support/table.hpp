@@ -1,0 +1,28 @@
+// Minimal fixed-width table printer for the benchmark binaries: every bench
+// prints the rows/series of the paper artifact it regenerates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parcycle {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  // Formatting helpers.
+  static std::string fixed(double value, int precision = 2);
+  static std::string with_unit(double seconds);  // 12.3ms / 4.56s style
+  static std::string count(std::uint64_t value);  // 12,345,678
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,62 @@
+#include "core/cycle_types.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parcycle {
+
+CycleRecord canonicalise_cycle(std::span<const VertexId> vertices,
+                               std::span<const EdgeId> edges) {
+  assert(!vertices.empty());
+  assert(edges.empty() || edges.size() == vertices.size());
+  const std::size_t k = vertices.size();
+
+  // Find the rotation that minimises the vertex sequence lexicographically.
+  std::size_t best = 0;
+  for (std::size_t candidate = 1; candidate < k; ++candidate) {
+    for (std::size_t offset = 0; offset < k; ++offset) {
+      const VertexId a = vertices[(candidate + offset) % k];
+      const VertexId b = vertices[(best + offset) % k];
+      if (a != b) {
+        if (a < b) {
+          best = candidate;
+        }
+        break;
+      }
+    }
+  }
+
+  CycleRecord record;
+  record.vertices.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    record.vertices[i] = vertices[(best + i) % k];
+  }
+  if (!edges.empty()) {
+    record.edges.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      record.edges[i] = edges[(best + i) % k];
+    }
+  }
+  return record;
+}
+
+void CollectingSink::on_cycle(std::span<const VertexId> vertices,
+                              std::span<const EdgeId> edges) {
+  CycleRecord record = canonicalise_cycle(vertices, edges);
+  std::lock_guard<std::mutex> guard(mutex_);
+  cycles_.push_back(std::move(record));
+}
+
+std::vector<CycleRecord> CollectingSink::sorted_cycles() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<CycleRecord> out = cycles_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t CollectingSink::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return cycles_.size();
+}
+
+}  // namespace parcycle

@@ -1,0 +1,101 @@
+// Cycle reporting: sink interfaces and canonicalisation helpers.
+//
+// Cycles are reported as a vertex sequence v0 .. v(k-1) whose closing edge
+// v(k-1) -> v0 is implicit, plus (for temporal-graph modes) the sequence of
+// edge ids realising each hop, including the closing hop (so edges.size() ==
+// vertices.size()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+// Receives discovered cycles. Parallel algorithms invoke on_cycle from
+// multiple worker threads concurrently; implementations must be thread-safe.
+class CycleSink {
+ public:
+  virtual ~CycleSink() = default;
+  virtual void on_cycle(std::span<const VertexId> vertices,
+                        std::span<const EdgeId> edges) = 0;
+};
+
+// Thread-safe counter-only sink (the benchmark fast path).
+class CountingSink final : public CycleSink {
+ public:
+  void on_cycle(std::span<const VertexId>, std::span<const EdgeId>) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// One materialised cycle.
+struct CycleRecord {
+  std::vector<VertexId> vertices;
+  std::vector<EdgeId> edges;
+
+  bool operator==(const CycleRecord&) const = default;
+  bool operator<(const CycleRecord& other) const {
+    if (vertices != other.vertices) return vertices < other.vertices;
+    return edges < other.edges;
+  }
+};
+
+// Rotates a cycle so it starts at its smallest vertex (ties broken by the
+// following vertex sequence); edge ids are rotated in lockstep. Two reports
+// of the same cycle from different starting points canonicalise identically,
+// which is how the tests compare algorithm outputs set-wise.
+CycleRecord canonicalise_cycle(std::span<const VertexId> vertices,
+                               std::span<const EdgeId> edges);
+
+// Thread-safe sink that stores every cycle in canonical form.
+class CollectingSink final : public CycleSink {
+ public:
+  void on_cycle(std::span<const VertexId> vertices,
+                std::span<const EdgeId> edges) override;
+
+  // Sorted canonical records; call after enumeration finished.
+  std::vector<CycleRecord> sorted_cycles() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CycleRecord> cycles_;
+};
+
+// Thread-safe histogram of cycle lengths (index = number of edges).
+class LengthHistogramSink final : public CycleSink {
+ public:
+  explicit LengthHistogramSink(std::size_t max_length = 64)
+      : buckets_(max_length + 1) {}
+
+  void on_cycle(std::span<const VertexId> vertices,
+                std::span<const EdgeId>) override {
+    const std::size_t len = vertices.size();
+    const std::size_t bucket = len < buckets_.size() ? len : buckets_.size() - 1;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<std::uint64_t> histogram() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,30 @@
+// Fine-grained parallel Johnson algorithm (Section 5 of the paper).
+//
+// Every recursive call of the Johnson search can become an independently
+// schedulable task, so multiple threads explore one recursion tree
+// concurrently (this is what makes the algorithm scalable even when all
+// cycles share a single starting edge). Each thread owns private copies of
+// the Pi / Blk / Blist structures; tasks executed by the thread that spawned
+// them reuse the live state in place, while stolen tasks copy the victim's
+// state under its lock and repair it with the recursive-unblocking procedure
+// (copy-on-steal).
+//
+// The algorithm is scalable but NOT work efficient: threads are unaware of
+// each other's blocked sets and may re-explore infeasible regions (Theorem
+// 5.1). bench_work_efficiency quantifies the overhead empirically.
+#pragma once
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/temporal_graph.hpp"
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+
+EnumResult fine_johnson_windowed_cycles(const TemporalGraph& graph,
+                                        Timestamp window, Scheduler& sched,
+                                        const EnumOptions& options = {},
+                                        const ParallelOptions& popts = {},
+                                        CycleSink* sink = nullptr);
+
+}  // namespace parcycle

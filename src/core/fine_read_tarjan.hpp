@@ -1,0 +1,27 @@
+// Fine-grained parallel Read-Tarjan algorithm (Section 6 of the paper).
+//
+// Every recursive call (one reported cycle plus the search for the alternate
+// extensions that branch off it) is an independently schedulable task. A
+// task's inputs are the spawn-time prefixes of the parent's path and blocked
+// log plus its own extension, so tasks executed by the spawning thread rewind
+// the live state in place, and stolen tasks replay the prefixes into a fresh
+// state — copy-on-steal with *empty* critical sections (see rt_state.hpp).
+//
+// Work efficient AND scalable: the only asymptotically-optimal parallel cycle
+// enumeration algorithm with both properties (paper Table 1 / Theorem 6.2).
+#pragma once
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/temporal_graph.hpp"
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+
+EnumResult fine_read_tarjan_windowed_cycles(const TemporalGraph& graph,
+                                            Timestamp window, Scheduler& sched,
+                                            const EnumOptions& options = {},
+                                            const ParallelOptions& popts = {},
+                                            CycleSink* sink = nullptr);
+
+}  // namespace parcycle

@@ -1,0 +1,239 @@
+#include "core/johnson.hpp"
+
+#include <cassert>
+
+#include "core/johnson_impl.hpp"
+
+namespace parcycle {
+
+namespace detail {
+
+// ---- StaticJohnsonSearch ---------------------------------------------------
+
+std::uint64_t StaticJohnsonSearch::search_from(VertexId start,
+                                               const SccResult& scc,
+                                               JohnsonState& state) {
+  state_ = &state;
+  scc_ = &scc;
+  start_ = start;
+  start_component_ = scc.component[start];
+  found_ = 0;
+  bounded_ = options_.max_cycle_length > 0;
+  const std::int32_t rem0 =
+      bounded_ ? options_.max_cycle_length : kUnboundedRem;
+  circuit(start, rem0);
+  return found_;
+}
+
+void StaticJohnsonSearch::report() {
+  found_ += 1;
+  state_->counters.cycles_found += 1;
+  if (sink_ != nullptr) {
+    sink_->on_cycle({state_->path_data(), state_->path_length()}, {});
+  }
+}
+
+bool StaticJohnsonSearch::circuit(VertexId v, std::int32_t rem) {
+  JohnsonState& st = *state_;
+  st.push(v, kInvalidEdge);
+  st.counters.vertices_visited += 1;
+  bool found = false;
+  const auto in_subgraph = [&](VertexId w) {
+    return w >= start_ && scc_->component[w] == start_component_;
+  };
+  for (const VertexId w : graph_.out_neighbors(v)) {
+    if (!in_subgraph(w)) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (w == start_) {
+      if (rem >= 1) {
+        report();
+        found = true;
+      }
+    } else {
+      const std::int32_t next = child_rem(rem, bounded_);
+      if (next >= 1 && st.can_visit(w, next)) {
+        found |= circuit(w, next);
+      }
+    }
+  }
+  if (found) {
+    st.exit_success(v);
+  } else {
+    st.exit_failure(v, rem);
+    for (const VertexId w : graph_.out_neighbors(v)) {
+      if (in_subgraph(w) && w != start_) {
+        st.blist_add(w, v);
+      }
+    }
+  }
+  st.pop();
+  return found;
+}
+
+// ---- WindowedJohnsonSearch -------------------------------------------------
+
+bool WindowedJohnsonSearch::prepare_start(const TemporalGraph& graph,
+                                          const TemporalEdge& e0,
+                                          Timestamp window,
+                                          bool use_cycle_union,
+                                          CycleUnionScratch* scratch,
+                                          StartContext& ctx) {
+  ctx.e0 = e0.id;
+  ctx.tail = e0.src;
+  ctx.head = e0.dst;
+  ctx.t0 = e0.ts;
+  ctx.hi = e0.ts + window;
+  ctx.cycle_union = nullptr;
+  // Cheap rejection: the head must have an admissible out-edge and the tail
+  // an admissible in-edge.
+  if (graph.out_edges_in_window(e0.dst, ctx.t0, ctx.hi).empty() ||
+      graph.in_edges_in_window(e0.src, ctx.t0, ctx.hi).empty()) {
+    return false;
+  }
+  if (use_cycle_union && scratch != nullptr) {
+    if (!scratch->compute(graph, ctx)) {
+      return false;  // tail unreachable: no cycle through e0
+    }
+    ctx.cycle_union = scratch;
+  }
+  return true;
+}
+
+void WindowedJohnsonSearch::report_cycle(const JohnsonState& state,
+                                         EdgeId closing_edge, CycleSink* sink,
+                                         std::vector<EdgeId>& edge_scratch) {
+  if (sink == nullptr) {
+    return;
+  }
+  const std::size_t len = state.path_length();
+  edge_scratch.clear();
+  // path_edge(i) is the edge into path_vertex(i); index 0 is the start
+  // vertex, entered by the closing edge.
+  for (std::size_t i = 1; i < len; ++i) {
+    edge_scratch.push_back(state.path_edge(i));
+  }
+  edge_scratch.push_back(closing_edge);
+  sink->on_cycle({state.path_data(), len},
+                 {edge_scratch.data(), edge_scratch.size()});
+}
+
+std::uint64_t WindowedJohnsonSearch::search_from(
+    const TemporalEdge& e0, JohnsonState& state,
+    CycleUnionScratch* cycle_union) {
+  assert(e0.src != e0.dst && "self-loops are handled by the driver");
+  state.reset();  // also clears counters: callers accumulate after each search
+  if (!prepare_start(graph_, e0, window_, options_.use_cycle_union,
+                     cycle_union, ctx_)) {
+    return 0;
+  }
+  state_ = &state;
+  found_ = 0;
+  bounded_ = options_.max_cycle_length > 0;
+  state.push(ctx_.tail, kInvalidEdge);
+  const std::int32_t rem0 =
+      bounded_ ? options_.max_cycle_length - 1 : kUnboundedRem;
+  if (rem0 >= 1 || !bounded_) {
+    circuit(ctx_.head, e0.id, rem0);
+  }
+  return found_;
+}
+
+bool WindowedJohnsonSearch::circuit(VertexId v, EdgeId via_edge,
+                                    std::int32_t rem) {
+  JohnsonState& st = *state_;
+  st.push(v, via_edge);
+  st.counters.vertices_visited += 1;
+  bool found = false;
+  for (const auto& e : graph_.out_edges_in_window(v, ctx_.t0, ctx_.hi)) {
+    if (e.id <= ctx_.e0) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (e.dst == ctx_.tail) {
+      if (rem >= 1) {
+        found_ += 1;
+        st.counters.cycles_found += 1;
+        report_cycle(st, e.id, sink_, edge_scratch_);
+        found = true;
+      }
+    } else {
+      const std::int32_t next = child_rem(rem, bounded_);
+      if (next >= 1 && ctx_.vertex_allowed(e.dst) && st.can_visit(e.dst, next)) {
+        found |= circuit(e.dst, e.id, next);
+      }
+    }
+  }
+  if (found) {
+    st.exit_success(v);
+  } else {
+    st.exit_failure(v, rem);
+    for (const auto& e : graph_.out_edges_in_window(v, ctx_.t0, ctx_.hi)) {
+      if (e.id > ctx_.e0 && e.dst != ctx_.tail && ctx_.vertex_allowed(e.dst)) {
+        st.blist_add(e.dst, v);
+      }
+    }
+  }
+  st.pop();
+  return found;
+}
+
+}  // namespace detail
+
+// ---- public drivers ---------------------------------------------------------
+
+EnumResult johnson_simple_cycles(const Digraph& graph,
+                                 const EnumOptions& options, CycleSink* sink) {
+  EnumResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return result;
+  }
+  detail::StaticJohnsonSearch search(graph, options, sink);
+  JohnsonState state(n);
+  for (VertexId s = 0; s < n; ++s) {
+    // Component structure of the subgraph induced by the not-yet-processed
+    // vertices; cycles rooted at s stay within the component of s.
+    const SccResult scc = strongly_connected_components(
+        graph, [s](VertexId v) { return v >= s; });
+    state.reset();
+    result.num_cycles += search.search_from(s, scc, state);
+    result.work += state.counters;
+  }
+  return result;
+}
+
+EnumResult johnson_windowed_cycles(const TemporalGraph& graph,
+                                   Timestamp window,
+                                   const EnumOptions& options,
+                                   CycleSink* sink) {
+  EnumResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return result;
+  }
+  detail::WindowedJohnsonSearch search(graph, window, options, sink);
+  JohnsonState state(n);
+  CycleUnionScratch cycle_union;
+  cycle_union.init(n);
+  std::vector<EdgeId> edge_scratch;
+  for (const auto& e0 : graph.edges_by_time()) {
+    if (e0.src == e0.dst) {
+      // A self-loop is a cycle of length one; it trivially fits any window.
+      result.num_cycles += 1;
+      result.work.cycles_found += 1;
+      if (sink != nullptr) {
+        const VertexId v = e0.src;
+        const EdgeId id = e0.id;
+        sink->on_cycle({&v, 1}, {&id, 1});
+      }
+      continue;
+    }
+    result.num_cycles += search.search_from(e0, state, &cycle_union);
+    result.work += state.counters;
+  }
+  return result;
+}
+
+}  // namespace parcycle

@@ -1,0 +1,32 @@
+// Serial Johnson algorithm (Johnson, SIAM J. Comput. 1975) for enumerating
+// simple cycles, in two flavours:
+//
+//  * johnson_simple_cycles: all simple cycles of a static digraph, using the
+//    classic smallest-vertex rooting with SCC pruning.
+//  * johnson_windowed_cycles: all simple cycles of a temporal graph whose
+//    edges fit in a sliding window of the given size (the enumeration task of
+//    the paper's Figure 7a). Cycles are edge-identified: parallel edges yield
+//    distinct cycles, and each cycle is reported exactly once, from its
+//    minimum (timestamp, id) edge.
+//
+// Worst-case time O((n + e)(c + 1)) per component/window, the best known
+// bound for directed graphs.
+#pragma once
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/digraph.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace parcycle {
+
+EnumResult johnson_simple_cycles(const Digraph& graph,
+                                 const EnumOptions& options = {},
+                                 CycleSink* sink = nullptr);
+
+EnumResult johnson_windowed_cycles(const TemporalGraph& graph,
+                                   Timestamp window,
+                                   const EnumOptions& options = {},
+                                   CycleSink* sink = nullptr);
+
+}  // namespace parcycle

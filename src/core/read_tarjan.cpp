@@ -1,0 +1,380 @@
+#include "core/read_tarjan.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/read_tarjan_impl.hpp"
+
+namespace parcycle {
+
+namespace detail {
+
+// ---- WindowedRTCore --------------------------------------------------------
+
+void WindowedRTCore::report(const ExtPath& ext) {
+  state_->counters.cycles_found += 1;
+  if (sink_ == nullptr) {
+    return;
+  }
+  const ReadTarjanState& st = *state_;
+  vertex_scratch_.clear();
+  edge_scratch_.clear();
+  for (std::size_t i = 0; i < st.path_length(); ++i) {
+    vertex_scratch_.push_back(st.path_vertex(i));
+    if (i > 0) {
+      edge_scratch_.push_back(st.path_edge(i));
+    }
+  }
+  // Extension vertices, excluding the final hop back to the tail.
+  for (std::size_t i = 0; i + 1 < ext.size(); ++i) {
+    vertex_scratch_.push_back(ext[i].dst);
+  }
+  for (const auto& step : ext) {
+    edge_scratch_.push_back(step.edge);
+  }
+  sink_->on_cycle({vertex_scratch_.data(), vertex_scratch_.size()},
+                  {edge_scratch_.data(), edge_scratch_.size()});
+}
+
+bool WindowedRTCore::dfs_to_tail(VertexId u, std::int32_t budget,
+                                 ExtPath& out) {
+  ReadTarjanState& st = *state_;
+  st.counters.vertices_visited += 1;
+  for (const auto& e : graph_.out_edges_in_window(u, ctx_.t0, ctx_.hi)) {
+    if (e.id <= ctx_.e0) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (e.dst == ctx_.tail) {
+      if (budget >= 1) {
+        out.push_back(ExtStep{e.dst, e.id});
+        return true;
+      }
+      continue;
+    }
+    const std::int32_t next = child_rem(budget, bounded_);
+    if (next < 1 || !ctx_.vertex_allowed(e.dst) || !st.can_visit(e.dst, next)) {
+      continue;
+    }
+    // Tentative mark: keeps this DFS vertex-simple. If the whole search from
+    // e.dst fails, every mark it made is a sound dead-end record (nothing
+    // visited can reach the tail). On success the caller rolls the marks
+    // back: a side branch may have failed only because vertices on the
+    // now-unwound DFS stack were tentatively blocked.
+    st.logged_set(e.dst, next);
+    if (dfs_to_tail(e.dst, next, out)) {
+      out.push_back(ExtStep{e.dst, e.id});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WindowedRTCore::find_alternate(const std::vector<EdgeId>& excluded,
+                                    ExtPath& out) {
+  ReadTarjanState& st = *state_;
+  const VertexId frontier = st.frontier();
+  const std::int32_t budget = frontier_budget();
+  if (budget < 1) {
+    return false;
+  }
+  out.clear();
+  const auto is_excluded = [&excluded](EdgeId id) {
+    for (const EdgeId forbidden : excluded) {
+      if (forbidden == id) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& e : graph_.out_edges_in_window(frontier, ctx_.t0, ctx_.hi)) {
+    if (e.id <= ctx_.e0 || is_excluded(e.id)) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (e.dst == ctx_.tail) {
+      out.push_back(ExtStep{e.dst, e.id});
+      return true;
+    }
+    const std::int32_t next = child_rem(budget, bounded_);
+    if (next < 1 || !ctx_.vertex_allowed(e.dst) || !st.can_visit(e.dst, next)) {
+      continue;
+    }
+    // Marks from a candidate whose search fully fails are sound dead-end
+    // records and are kept for the rest of the call; marks from the
+    // successful candidate's subtree are not (side branches failed against
+    // tentatively-blocked stack vertices) and are rolled back.
+    const std::size_t candidate_log = st.log_length();
+    st.logged_set(e.dst, next);
+    if (dfs_to_tail(e.dst, next, out)) {
+      st.truncate_log(candidate_log);
+      out.push_back(ExtStep{e.dst, e.id});
+      // dfs builds the path in reverse (unwinding order); flip it.
+      std::reverse(out.begin(), out.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t WindowedRTCore::walk(const ExtPath& ext,
+                                   const std::vector<EdgeId>& excluded_first,
+                                   const ChildFn& on_child) {
+  ReadTarjanState& st = *state_;
+  report(ext);
+  std::vector<EdgeId> excluded;
+  ExtPath alt;
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    excluded.clear();
+    if (i == 0) {
+      excluded = excluded_first;
+    }
+    excluded.push_back(ext[i].edge);
+    if (find_alternate(excluded, alt)) {
+      RTChild child;
+      child.path_len = st.path_length();
+      child.log_len = st.log_length();
+      child.ext = std::move(alt);
+      child.excluded_edges = excluded;
+      alt.clear();
+      on_child(std::move(child));
+    }
+    if (i + 1 < ext.size()) {
+      st.push(ext[i].dst, ext[i].edge);
+    }
+  }
+  return 1;
+}
+
+// ---- StaticRTCore ----------------------------------------------------------
+
+void StaticRTCore::report(const ExtPath& ext) {
+  state_->counters.cycles_found += 1;
+  if (sink_ == nullptr) {
+    return;
+  }
+  const ReadTarjanState& st = *state_;
+  vertex_scratch_.clear();
+  for (std::size_t i = 0; i < st.path_length(); ++i) {
+    vertex_scratch_.push_back(st.path_vertex(i));
+  }
+  for (std::size_t i = 0; i + 1 < ext.size(); ++i) {
+    vertex_scratch_.push_back(ext[i].dst);
+  }
+  sink_->on_cycle({vertex_scratch_.data(), vertex_scratch_.size()}, {});
+}
+
+bool StaticRTCore::dfs_to_root(VertexId u, std::int32_t budget, ExtPath& out) {
+  ReadTarjanState& st = *state_;
+  st.counters.vertices_visited += 1;
+  for (const VertexId w : graph_.out_neighbors(u)) {
+    if (!in_subgraph(w)) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (w == root_) {
+      if (budget >= 1) {
+        out.push_back(ExtStep{w, kInvalidEdge});
+        return true;
+      }
+      continue;
+    }
+    const std::int32_t next = child_rem(budget, bounded_);
+    if (next < 1 || !st.can_visit(w, next)) {
+      continue;
+    }
+    // Same mark discipline as the windowed core: keep marks from fully
+    // failed searches, roll back marks from the successful subtree.
+    st.logged_set(w, next);
+    if (dfs_to_root(w, next, out)) {
+      out.push_back(ExtStep{w, kInvalidEdge});
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StaticRTCore::find_alternate(const std::vector<VertexId>& excluded,
+                                  ExtPath& out) {
+  ReadTarjanState& st = *state_;
+  const VertexId frontier = st.frontier();
+  const std::int32_t budget = frontier_budget();
+  if (budget < 1) {
+    return false;
+  }
+  out.clear();
+  const auto is_excluded = [&excluded](VertexId w) {
+    for (const VertexId forbidden : excluded) {
+      if (forbidden == w) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const VertexId w : graph_.out_neighbors(frontier)) {
+    if (!in_subgraph(w) || is_excluded(w)) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (w == root_) {
+      out.push_back(ExtStep{w, kInvalidEdge});
+      return true;
+    }
+    const std::int32_t next = child_rem(budget, bounded_);
+    if (next < 1 || !st.can_visit(w, next)) {
+      continue;
+    }
+    const std::size_t candidate_log = st.log_length();
+    st.logged_set(w, next);
+    if (dfs_to_root(w, next, out)) {
+      st.truncate_log(candidate_log);
+      out.push_back(ExtStep{w, kInvalidEdge});
+      std::reverse(out.begin(), out.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t StaticRTCore::walk(const ExtPath& ext,
+                                 const std::vector<VertexId>& excluded_first,
+                                 const ChildFn& on_child) {
+  ReadTarjanState& st = *state_;
+  report(ext);
+  std::vector<VertexId> excluded;
+  ExtPath alt;
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    excluded.clear();
+    if (i == 0) {
+      excluded = excluded_first;
+    }
+    excluded.push_back(ext[i].dst);
+    if (find_alternate(excluded, alt)) {
+      RTChild child;
+      child.path_len = st.path_length();
+      child.log_len = st.log_length();
+      child.ext = std::move(alt);
+      child.excluded_targets = excluded;
+      alt.clear();
+      on_child(std::move(child));
+    }
+    if (i + 1 < ext.size()) {
+      st.push(ext[i].dst, ext[i].edge);
+    }
+  }
+  return 1;
+}
+
+}  // namespace detail
+
+// ---- serial drivers ---------------------------------------------------------
+
+namespace {
+
+// Depth-first execution of deferred children on a single state: pop the
+// deepest child, rewind the state to its prefix, walk, repeat. This is
+// exactly the fine-grained task structure executed by one thread.
+template <typename Core, typename Excluded>
+std::uint64_t drain_children(Core& core, ReadTarjanState& state,
+                             std::vector<detail::RTChild>& pending,
+                             Excluded excluded_member) {
+  std::uint64_t cycles = 0;
+  const detail::ChildFn collect = [&pending](detail::RTChild&& child) {
+    pending.push_back(std::move(child));
+  };
+  while (!pending.empty()) {
+    detail::RTChild child = std::move(pending.back());
+    pending.pop_back();
+    state.truncate_path(child.path_len);
+    state.truncate_log(child.log_len);
+    cycles += core.walk(child.ext, child.*excluded_member, collect);
+  }
+  return cycles;
+}
+
+}  // namespace
+
+EnumResult read_tarjan_simple_cycles(const Digraph& graph,
+                                     const EnumOptions& options,
+                                     CycleSink* sink) {
+  EnumResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return result;
+  }
+  detail::StaticRTCore core(graph, options, sink);
+  ReadTarjanState state(n);
+  std::vector<detail::RTChild> pending;
+  for (VertexId s = 0; s < n; ++s) {
+    const SccResult scc = strongly_connected_components(
+        graph, [s](VertexId v) { return v >= s; });
+    state.reset();
+    core.bind(state, s, scc);
+    state.push(s, kInvalidEdge);
+    detail::ExtPath root_ext;
+    if (core.find_root_extension(root_ext)) {
+      pending.push_back(detail::RTChild{state.path_length(),
+                                        state.log_length(),
+                                        std::move(root_ext),
+                                        {},
+                                        {}});
+      result.num_cycles += drain_children(core, state, pending,
+                                          &detail::RTChild::excluded_targets);
+    }
+    result.work += state.counters;
+  }
+  return result;
+}
+
+EnumResult read_tarjan_windowed_cycles(const TemporalGraph& graph,
+                                       Timestamp window,
+                                       const EnumOptions& options,
+                                       CycleSink* sink) {
+  EnumResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return result;
+  }
+  detail::WindowedRTCore core(graph, options, sink);
+  ReadTarjanState state(n);
+  CycleUnionScratch cycle_union;
+  cycle_union.init(n);
+  std::vector<detail::RTChild> pending;
+  for (const auto& e0 : graph.edges_by_time()) {
+    if (e0.src == e0.dst) {
+      result.num_cycles += 1;
+      result.work.cycles_found += 1;
+      if (sink != nullptr) {
+        sink->on_cycle({&e0.src, 1}, {&e0.id, 1});
+      }
+      continue;
+    }
+    state.reset();
+    StartContext ctx;
+    if (!detail::WindowedJohnsonSearch::prepare_start(
+            graph, e0, window, options.use_cycle_union, &cycle_union, ctx)) {
+      continue;
+    }
+    core.bind(state, ctx);
+    state.push(ctx.tail, kInvalidEdge);
+    state.push(ctx.head, e0.id);
+    if (options.max_cycle_length == 1) {
+      result.work += state.counters;
+      continue;  // only self-loops have length 1; handled above
+    }
+    detail::ExtPath root_ext;
+    if (core.find_root_extension(root_ext)) {
+      pending.push_back(detail::RTChild{state.path_length(),
+                                        state.log_length(),
+                                        std::move(root_ext),
+                                        {},
+                                        {}});
+      result.num_cycles += drain_children(core, state, pending,
+                                          &detail::RTChild::excluded_edges);
+    }
+    result.work += state.counters;
+  }
+  return result;
+}
+
+}  // namespace parcycle

@@ -1,0 +1,28 @@
+// Serial Read-Tarjan algorithm (Read & Tarjan, Networks 1975) for simple
+// cycle enumeration. Same asymptotic bound as Johnson's algorithm,
+// O((n + e)(c + 1)), with blocked bookkeeping that is local to each recursive
+// call — the property Section 6 of the paper exploits to parallelise it in a
+// work-efficient way.
+//
+// Two flavours mirroring the Johnson API: static digraphs (smallest-vertex
+// rooting) and time-window constrained simple cycles of a temporal graph
+// (minimum-edge rooting; cycles are edge-identified).
+#pragma once
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/digraph.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace parcycle {
+
+EnumResult read_tarjan_simple_cycles(const Digraph& graph,
+                                     const EnumOptions& options = {},
+                                     CycleSink* sink = nullptr);
+
+EnumResult read_tarjan_windowed_cycles(const TemporalGraph& graph,
+                                       Timestamp window,
+                                       const EnumOptions& options = {},
+                                       CycleSink* sink = nullptr);
+
+}  // namespace parcycle

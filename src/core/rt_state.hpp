@@ -1,0 +1,163 @@
+// Mutable search state of the Read-Tarjan algorithm.
+//
+// Unlike Johnson's state, all blocking here is call-local and evolves
+// monotonically along a root-to-leaf chain of the recursion tree, so it is
+// kept as an undo log: every write to the per-vertex fail budget appends
+// (vertex, old, new). Rewinding a task switch is `truncate_log`, and a stolen
+// task reconstructs the spawn-time state by replaying the log prefix onto a
+// fresh state.
+//
+// Copy-on-steal needs no locking at all for this state: a thief only ever
+// reads path/log entries below its task's spawn-time prefix. Those entries
+// were written before the task was pushed into the deque (release) and read
+// after a successful steal (acquire), and the per-call TaskGroup wait
+// guarantees the victim cannot rewind below a live task's prefix. This is the
+// mechanical reason the paper's fine-grained Read-Tarjan has "much shorter
+// critical sections" than fine-grained Johnson — here they are empty.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/dynamic_bitset.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace parcycle {
+
+class ReadTarjanState {
+ public:
+  static constexpr std::int32_t kUnblocked = -1;
+
+  struct LogEntry {
+    VertexId v;
+    std::int32_t old_rem;
+    std::int32_t new_rem;
+  };
+
+  ReadTarjanState() = default;
+  explicit ReadTarjanState(VertexId capacity) { init(capacity); }
+
+  void init(VertexId capacity) {
+    capacity_ = capacity;
+    path_.assign(capacity + 1, kInvalidVertex);
+    path_edges_.assign(capacity + 1, kInvalidEdge);
+    path_len_ = 0;
+    on_path_.resize(capacity);
+    fail_rem_.assign(capacity, kUnblocked);
+    log_.clear();
+  }
+
+  void reset() {
+    truncate_log(0);
+    truncate_path(0);
+    counters = WorkCounters{};
+  }
+
+  VertexId capacity() const noexcept { return capacity_; }
+
+  // ---- path ------------------------------------------------------------
+
+  std::size_t path_length() const noexcept { return path_len_; }
+  VertexId path_vertex(std::size_t i) const noexcept { return path_[i]; }
+  EdgeId path_edge(std::size_t i) const noexcept { return path_edges_[i]; }
+  const VertexId* path_data() const noexcept { return path_.data(); }
+  VertexId frontier() const noexcept { return path_[path_len_ - 1]; }
+  bool on_path(VertexId v) const noexcept { return on_path_.test(v); }
+
+  void push(VertexId v, EdgeId via_edge) {
+    assert(path_len_ <= capacity_);
+    path_[path_len_] = v;
+    path_edges_[path_len_] = via_edge;
+    path_len_ += 1;
+    on_path_.set(v);
+  }
+
+  void truncate_path(std::size_t len) {
+    while (path_len_ > len) {
+      path_len_ -= 1;
+      on_path_.reset(path_[path_len_]);
+    }
+  }
+
+  // ---- blocking --------------------------------------------------------
+
+  std::int32_t fail_rem(VertexId v) const noexcept { return fail_rem_[v]; }
+
+  bool can_visit(VertexId v, std::int32_t rem) const noexcept {
+    return !on_path_.test(v) && rem > fail_rem_[v];
+  }
+
+  // Logged write of the fail budget (both block and restore go through here
+  // so the log stays linear). Buffer growth is the one mutation that can
+  // invalidate a concurrent thief's lock-free prefix read, so it alone takes
+  // the lock; ordinary appends land beyond every live prefix and are safe.
+  void logged_set(VertexId v, std::int32_t value) {
+    if (log_.size() == log_.capacity()) {
+      LockGuard<Spinlock> guard(realloc_lock_);
+      log_.reserve(log_.empty() ? 256 : 2 * log_.capacity());
+    }
+    log_.push_back(LogEntry{v, fail_rem_[v], value});
+    fail_rem_[v] = value;
+  }
+
+  std::size_t log_length() const noexcept { return log_.size(); }
+
+  void truncate_log(std::size_t len) {
+    while (log_.size() > len) {
+      const LogEntry entry = log_.back();
+      log_.pop_back();
+      fail_rem_[entry.v] = entry.old_rem;
+    }
+  }
+
+  // ---- copy-on-steal -----------------------------------------------------
+
+  // Reconstructs the spawn-time snapshot (path_prefix, log_prefix) of
+  // `victim` into *this, which must be reset and of equal capacity.
+  void copy_prefix_from(ReadTarjanState& victim, std::size_t path_prefix,
+                        std::size_t log_prefix) {
+    assert(capacity_ == victim.capacity_);
+    assert(path_len_ == 0 && log_.empty());
+    // Holding the victim's realloc lock pins its log buffer; the entries
+    // below the prefix are immutable while the stolen task is live.
+    LockGuard<Spinlock> guard(victim.realloc_lock_);
+    for (std::size_t i = 0; i < path_prefix; ++i) {
+      push(victim.path_[i], victim.path_edges_[i]);
+    }
+    log_.reserve(log_prefix);
+    for (std::size_t i = 0; i < log_prefix; ++i) {
+      const LogEntry& entry = victim.log_[i];
+      log_.push_back(entry);
+      fail_rem_[entry.v] = entry.new_rem;
+    }
+    counters.state_copies += 1;
+  }
+
+  // ---- same-thread reuse guard -------------------------------------------
+  //
+  // While a call executes inline on this state, tasks with a spawn-time path
+  // prefix shallower than the innermost active frame must not rewind the
+  // state in place (they would clobber live frames). The "floor" tracks that
+  // bound; it is only ever touched by the owning thread.
+  std::size_t floor() const noexcept { return floor_; }
+  void set_floor(std::size_t f) noexcept { floor_ = f; }
+
+  WorkCounters counters;
+
+ private:
+  VertexId capacity_ = 0;
+  std::size_t floor_ = 0;
+  std::vector<VertexId> path_;
+  std::vector<EdgeId> path_edges_;
+  std::size_t path_len_ = 0;
+  DynamicBitset on_path_;
+  std::vector<std::int32_t> fail_rem_;
+  std::vector<LogEntry> log_;
+  Spinlock realloc_lock_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,36 @@
+// Tiernan's brute-force simple cycle enumeration (Comm. ACM 1970).
+//
+// No recursion-tree pruning: the search explores every simple path, so the
+// worst case is O(s * (n + e)) where s is the number of maximal simple paths
+// (exponentially larger than the cycle count in general). Included as the
+// reference baseline the paper measures Johnson and Read-Tarjan against, and
+// as the ground-truth oracle for the test suite (its correctness is evident
+// from its simplicity).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/digraph.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace parcycle {
+
+EnumResult tiernan_simple_cycles(const Digraph& graph,
+                                 const EnumOptions& options = {},
+                                 CycleSink* sink = nullptr);
+
+EnumResult tiernan_windowed_cycles(const TemporalGraph& graph,
+                                   Timestamp window,
+                                   const EnumOptions& options = {},
+                                   CycleSink* sink = nullptr);
+
+// Counts maximal simple paths starting from `start` (a path is maximal when
+// its last vertex has no admissible unvisited neighbor). This is the paper's
+// quantity `s` restricted to one root; used by tests and EXPERIMENTS.md to
+// exhibit the exponential s/c gap of the adversarial graphs.
+std::uint64_t count_maximal_simple_paths_from(const Digraph& graph,
+                                              VertexId start);
+
+}  // namespace parcycle

@@ -1,0 +1,113 @@
+// Per-starting-edge search context for windowed enumeration.
+//
+// Both windowed-simple and temporal enumeration decompose the problem into
+// one search per starting edge e0 = (tail -> head, t0): the search may only
+// use edges with id > e0 (which, because ids are assigned in (ts, src, dst)
+// order, makes e0 the canonical minimum edge of every cycle it reports) and
+// ts <= t0 + window.
+//
+// The optional cycle-union pruning (paper Section 7) intersects forward
+// reachability from `head` with backward reachability into `tail` over the
+// admissible edges; vertices outside the intersection cannot lie on any cycle
+// of this search and are skipped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class CycleUnionScratch;
+
+struct StartContext {
+  EdgeId e0 = kInvalidEdge;
+  VertexId tail = kInvalidVertex;  // cycle root: the search closes back here
+  VertexId head = kInvalidVertex;  // first vertex explored
+  Timestamp t0 = 0;
+  Timestamp hi = 0;  // t0 + window
+  const CycleUnionScratch* cycle_union = nullptr;  // null = no pruning
+
+  bool edge_allowed(Timestamp ts, EdgeId id) const noexcept {
+    return id > e0 && ts <= hi;
+  }
+
+  inline bool vertex_allowed(VertexId v) const noexcept;
+};
+
+// Reusable scratch for the per-start reachability intersection. Uses epoch
+// stamps so consecutive searches clear in O(touched).
+class CycleUnionScratch {
+ public:
+  void init(VertexId n) {
+    fwd_stamp_.assign(n, 0);
+    bwd_stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+
+  // Computes the cycle-union for `ctx` over admissible edges. Returns false
+  // when ctx.tail is not reachable from ctx.head (no cycle can exist, the
+  // whole search can be skipped).
+  bool compute(const TemporalGraph& graph, const StartContext& ctx) {
+    epoch_ += 1;
+    // Forward pass from the head over admissible out-edges.
+    queue_.clear();
+    fwd_stamp_[ctx.head] = epoch_;
+    queue_.push_back(ctx.head);
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      const VertexId v = queue_[qi];
+      for (const auto& e : graph.out_edges_in_window(v, ctx.t0, ctx.hi)) {
+        if (e.id > ctx.e0 && fwd_stamp_[e.dst] != epoch_) {
+          fwd_stamp_[e.dst] = epoch_;
+          queue_.push_back(e.dst);
+        }
+      }
+    }
+    if (fwd_stamp_[ctx.tail] != epoch_) {
+      return false;
+    }
+    // Backward pass from the tail, restricted to forward-reachable vertices;
+    // the vertices it marks are exactly the intersection.
+    queue_.clear();
+    bwd_stamp_[ctx.tail] = epoch_;
+    queue_.push_back(ctx.tail);
+    for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+      const VertexId v = queue_[qi];
+      for (const auto& e : graph.in_edges_in_window(v, ctx.t0, ctx.hi)) {
+        if (e.id > ctx.e0 && fwd_stamp_[e.src] == epoch_ &&
+            bwd_stamp_[e.src] != epoch_) {
+          bwd_stamp_[e.src] = epoch_;
+          queue_.push_back(e.src);
+        }
+      }
+    }
+    return true;
+  }
+
+  bool contains(VertexId v) const noexcept {
+    return bwd_stamp_[v] == epoch_;
+  }
+
+  // Number of vertices in the last computed union (diagnostics).
+  std::size_t last_union_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto stamp : bwd_stamp_) {
+      n += (stamp == epoch_);
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::uint32_t> fwd_stamp_;
+  std::vector<std::uint32_t> bwd_stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<VertexId> queue_;
+};
+
+inline bool StartContext::vertex_allowed(VertexId v) const noexcept {
+  return cycle_union == nullptr || cycle_union->contains(v);
+}
+
+}  // namespace parcycle

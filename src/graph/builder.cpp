@@ -1,0 +1,38 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace parcycle {
+
+void GraphBuilder::grow_to_fit(VertexId u, VertexId v) {
+  const VertexId needed = std::max(u, v) + 1;
+  if (needed > num_vertices_) {
+    num_vertices_ = needed;
+  }
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) { add_edge(u, v, 0); }
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, Timestamp ts) {
+  if (drop_self_loops_ && u == v) {
+    return;
+  }
+  grow_to_fit(u, v);
+  edges_.push_back(TemporalEdge{u, v, ts, kInvalidEdge});
+}
+
+Digraph GraphBuilder::build_digraph(bool dedup) const {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    pairs.emplace_back(e.src, e.dst);
+  }
+  return Digraph(num_vertices_, std::move(pairs), dedup);
+}
+
+TemporalGraph GraphBuilder::build_temporal() const {
+  return TemporalGraph(num_vertices_, edges_);
+}
+
+}  // namespace parcycle

@@ -1,0 +1,42 @@
+// Incremental edge-list accumulator that finalises into a Digraph or a
+// TemporalGraph. Vertex count can be fixed up front or inferred from the
+// largest id seen.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/temporal_graph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  // Whether to silently drop u->u edges (length-1 cycles). Defaults to
+  // keeping them; the enumeration algorithms report them as cycles of
+  // length one.
+  void set_drop_self_loops(bool drop) { drop_self_loops_ = drop; }
+
+  void add_edge(VertexId u, VertexId v);
+  void add_edge(VertexId u, VertexId v, Timestamp ts);
+
+  std::size_t num_edges_added() const noexcept { return edges_.size(); }
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+
+  // Finalisers. The builder may be reused afterwards (contents are copied).
+  Digraph build_digraph(bool dedup = true) const;
+  TemporalGraph build_temporal() const;
+
+ private:
+  void grow_to_fit(VertexId u, VertexId v);
+
+  VertexId num_vertices_ = 0;
+  bool drop_self_loops_ = false;
+  std::vector<TemporalEdge> edges_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,71 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parcycle {
+
+Digraph::Digraph(VertexId num_vertices,
+                 std::vector<std::pair<VertexId, VertexId>> edges, bool dedup)
+    : num_vertices_(num_vertices) {
+  for ([[maybe_unused]] const auto& [u, v] : edges) {
+    assert(u < num_vertices && v < num_vertices);
+  }
+  std::sort(edges.begin(), edges.end());
+  if (dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  out_offsets_.assign(num_vertices_ + 1, 0);
+  targets_.resize(edges.size());
+  for (const auto& [u, v] : edges) {
+    out_offsets_[u + 1] += 1;
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+  }
+  {
+    std::vector<std::size_t> cursor(out_offsets_.begin(),
+                                    out_offsets_.end() - 1);
+    for (const auto& [u, v] : edges) {
+      targets_[cursor[u]++] = v;
+    }
+  }
+
+  in_offsets_.assign(num_vertices_ + 1, 0);
+  sources_.resize(edges.size());
+  for (const auto& [u, v] : edges) {
+    in_offsets_[v + 1] += 1;
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  {
+    std::vector<std::size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    // Iterate in sorted (u, v) order so each in-neighbor list ends up sorted.
+    for (const auto& [u, v] : edges) {
+      sources_[cursor[v]++] = u;
+    }
+  }
+}
+
+bool Digraph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (u >= num_vertices_) {
+    return false;
+  }
+  const auto neighbors = out_neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Digraph::edge_list() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    for (const VertexId v : out_neighbors(u)) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace parcycle

@@ -1,0 +1,59 @@
+// Static directed graph in compressed sparse row form, with both out- and
+// in-adjacency (the latter is needed for backward reachability in the
+// preprocessing passes). Neighbor lists are sorted, enabling O(log d) edge
+// queries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  // Builds from an edge list. Duplicate edges are collapsed when
+  // `dedup` is true. Self-loops are kept as given.
+  Digraph(VertexId num_vertices,
+          std::vector<std::pair<VertexId, VertexId>> edges, bool dedup = true);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_edges() const noexcept { return targets_.size(); }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const noexcept {
+    return {targets_.data() + out_offsets_[v],
+            targets_.data() + out_offsets_[v + 1]};
+  }
+
+  std::span<const VertexId> in_neighbors(VertexId v) const noexcept {
+    return {sources_.data() + in_offsets_[v],
+            sources_.data() + in_offsets_[v + 1]};
+  }
+
+  std::size_t out_degree(VertexId v) const noexcept {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  std::size_t in_degree(VertexId v) const noexcept {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  // The edge list in (src, dst) sorted order; useful for round-trips.
+  std::vector<std::pair<VertexId, VertexId>> edge_list() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<std::size_t> out_offsets_{0};
+  std::vector<VertexId> targets_;
+  std::vector<std::size_t> in_offsets_{0};
+  std::vector<VertexId> sources_;
+};
+
+}  // namespace parcycle

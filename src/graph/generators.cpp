@@ -1,0 +1,262 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+
+Digraph complete_digraph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph directed_ring(VertexId n) {
+  assert(n >= 2);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    edges.emplace_back(v, (v + 1) % n);
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph random_dag(VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return Digraph(n, std::move(edges));
+}
+
+Digraph johnson_adversarial_graph(VertexId m, VertexId k) {
+  assert(m >= 1 && k >= 1);
+  // Layout: 0 = v0, 1 = v1, 2 = v2, [3, 3+m) = w chain, [3+m, 3+2m) = u
+  // chain, [3+2m, 3+2m+k) = b dead-end chain.
+  const VertexId v0 = 0;
+  const VertexId v1 = 1;
+  const VertexId v2 = 2;
+  const VertexId w0 = 3;
+  const VertexId u0 = 3 + m;
+  const VertexId b0 = 3 + 2 * m;
+  const VertexId n = 3 + 2 * m + k;
+
+  GraphBuilder builder(n);
+  builder.add_edge(v0, v1);
+  builder.add_edge(v2, v0);
+  builder.add_edge(v1, w0);
+  builder.add_edge(v1, u0);
+  for (VertexId i = 0; i + 1 < m; ++i) {
+    builder.add_edge(w0 + i, w0 + i + 1);
+    builder.add_edge(u0 + i, u0 + i + 1);
+  }
+  builder.add_edge(w0 + m - 1, v2);
+  builder.add_edge(u0 + m - 1, v2);
+  // Every chain vertex can wander into the dead-end chain.
+  for (VertexId i = 0; i < m; ++i) {
+    builder.add_edge(w0 + i, b0);
+    builder.add_edge(u0 + i, b0);
+  }
+  for (VertexId i = 0; i + 1 < k; ++i) {
+    builder.add_edge(b0 + i, b0 + i + 1);
+  }
+  return builder.build_digraph();
+}
+
+Digraph figure4a_graph(VertexId n) {
+  assert(n >= 3);
+  GraphBuilder builder(n);
+  builder.add_edge(0, 1);
+  for (VertexId i = 1; i < n; ++i) {
+    builder.add_edge(i, 0);
+    for (VertexId j = i + 1; j < n; ++j) {
+      builder.add_edge(i, j);
+    }
+  }
+  return builder.build_digraph();
+}
+
+Digraph figure5a_graph(VertexId m) {
+  assert(m >= 1);
+  // 0 = v0, 1 = v1, 2 = v2, [3, 7) = u_1..u_4, then a diamond chain hanging
+  // off v2: stage i has split vertices a_i / b_i merging into join_i.
+  const VertexId v0 = 0;
+  const VertexId v1 = 1;
+  const VertexId v2 = 2;
+  GraphBuilder builder;
+  builder.add_edge(v0, v1);
+  for (VertexId i = 0; i < 4; ++i) {
+    const VertexId u = 3 + i;
+    builder.add_edge(v1, u);
+    builder.add_edge(u, v2);
+  }
+  builder.add_edge(v2, v0);
+  // Diamond chain: v2 -> {a_0, b_0}; a_i, b_i -> join_i; join_i -> {a_(i+1),
+  // b_(i+1)}. Dead end after the final join. 2^m maximal simple paths.
+  VertexId prev_join = v2;
+  VertexId next = 7;
+  for (VertexId stage = 0; stage < m; ++stage) {
+    const VertexId a = next++;
+    const VertexId b = next++;
+    const VertexId join = next++;
+    builder.add_edge(prev_join, a);
+    builder.add_edge(prev_join, b);
+    builder.add_edge(a, join);
+    builder.add_edge(b, join);
+    prev_join = join;
+  }
+  return builder.build_digraph();
+}
+
+Digraph figure6a_graph() {
+  // Vertex layout mirroring Figure 6a: v0=0, v1=1, w1=2, w2=3, w3=4, w4=5,
+  // u1=6, u2=7, b1=8, b2=9, b3=10, b4=11.
+  GraphBuilder builder(12);
+  builder.add_edge(0, 1);   // v0 -> v1
+  builder.add_edge(1, 2);   // v1 -> w1 (victim's depth-first branch)
+  builder.add_edge(1, 6);   // v1 -> u1 (the stolen branch)
+  builder.add_edge(2, 3);   // w1 -> w2
+  builder.add_edge(3, 4);   // w2 -> w3
+  builder.add_edge(4, 5);   // w3 -> w4
+  builder.add_edge(5, 0);   // w4 -> v0 closes the victim's cycle
+  builder.add_edge(6, 7);   // u1 -> u2
+  builder.add_edge(7, 8);   // u2 -> b1
+  builder.add_edge(8, 9);   // b1 -> b2
+  builder.add_edge(9, 0);   // b2 -> v0 closes the thief's cycle
+  builder.add_edge(2, 10);  // w1 -> b3 : blocked by the victim after w1
+  builder.add_edge(10, 11); // b3 -> b4
+  builder.add_edge(11, 2);  // b4 -> w1 : dead end once w1 is on the path
+  return builder.build_digraph();
+}
+
+Digraph erdos_renyi(VertexId n, std::size_t m, std::uint64_t seed) {
+  assert(n >= 2);
+  const std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1);
+  m = std::min(m, max_edges);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) {
+      continue;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return Digraph(n, std::move(edges));
+}
+
+TemporalGraph scale_free_temporal(const ScaleFreeTemporalParams& params) {
+  assert(params.num_vertices >= 2);
+  Xoshiro256 rng(params.seed);
+  const VertexId n = params.num_vertices;
+
+  // Repeated-endpoint sampling approximates preferential attachment: with
+  // probability `attachment` the endpoint is copied from a previously placed
+  // edge (probability of picking vertex v proportional to its current
+  // degree), otherwise it is uniform. This yields the heavy-tailed degree
+  // distribution that concentrates work on a few hub searches.
+  std::vector<VertexId> src_pool;
+  std::vector<VertexId> dst_pool;
+  src_pool.reserve(params.num_edges);
+  dst_pool.reserve(params.num_edges);
+
+  std::vector<TemporalEdge> edges;
+  edges.reserve(params.num_edges);
+  std::vector<Timestamp> last_ts(n, 0);
+
+  const auto span = std::max<Timestamp>(params.time_span, 1);
+  const auto burst_width = std::max<Timestamp>(
+      static_cast<Timestamp>(params.burst_width * static_cast<double>(span)),
+      1);
+
+  for (std::size_t i = 0; i < params.num_edges; ++i) {
+    VertexId u;
+    VertexId v;
+    do {
+      u = (!src_pool.empty() && rng.uniform() < params.attachment)
+              ? src_pool[rng.bounded(src_pool.size())]
+              : static_cast<VertexId>(rng.bounded(n));
+      v = (!dst_pool.empty() && rng.uniform() < params.attachment)
+              ? dst_pool[rng.bounded(dst_pool.size())]
+              : static_cast<VertexId>(rng.bounded(n));
+    } while (!params.allow_self_loops && u == v);
+    src_pool.push_back(u);
+    dst_pool.push_back(v);
+
+    Timestamp ts;
+    if (last_ts[u] != 0 && rng.uniform() < params.burstiness) {
+      // Burst: shortly after the source's previous activity.
+      ts = last_ts[u] + static_cast<Timestamp>(rng.bounded(
+                            static_cast<std::uint64_t>(burst_width)));
+      ts = std::min<Timestamp>(ts, span - 1);
+    } else {
+      ts = static_cast<Timestamp>(rng.bounded(static_cast<std::uint64_t>(span)));
+    }
+    last_ts[u] = ts;
+    edges.push_back(TemporalEdge{u, v, ts, kInvalidEdge});
+  }
+  return TemporalGraph(n, std::move(edges));
+}
+
+TemporalGraph uniform_temporal(VertexId n, std::size_t m, Timestamp time_span,
+                               std::uint64_t seed) {
+  assert(n >= 2);
+  Xoshiro256 rng(seed);
+  const auto span = std::max<Timestamp>(time_span, 1);
+  std::vector<TemporalEdge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<VertexId>(rng.bounded(n));
+    const auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) {
+      continue;
+    }
+    const auto ts =
+        static_cast<Timestamp>(rng.bounded(static_cast<std::uint64_t>(span)));
+    edges.push_back(TemporalEdge{u, v, ts, kInvalidEdge});
+  }
+  return TemporalGraph(n, std::move(edges));
+}
+
+TemporalGraph with_uniform_timestamps(const Digraph& graph,
+                                      Timestamp time_span,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto span = std::max<Timestamp>(time_span, 1);
+  std::vector<TemporalEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId v : graph.out_neighbors(u)) {
+      const auto ts =
+          static_cast<Timestamp>(rng.bounded(static_cast<std::uint64_t>(span)));
+      edges.push_back(TemporalEdge{u, v, ts, kInvalidEdge});
+    }
+  }
+  return TemporalGraph(graph.num_vertices(), std::move(edges));
+}
+
+}  // namespace parcycle

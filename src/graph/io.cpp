@@ -1,0 +1,73 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace parcycle {
+
+TemporalGraph load_temporal_edge_list(std::istream& in,
+                                      const EdgeListOptions& options) {
+  GraphBuilder builder;
+  builder.set_drop_self_loops(options.drop_self_loops);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    long long u = 0;
+    long long v = 0;
+    if (!(fields >> u)) {
+      continue;  // blank or comment-only line
+    }
+    if (!(fields >> v) || u < 0 || v < 0) {
+      throw std::runtime_error("malformed edge list at line " +
+                               std::to_string(line_number));
+    }
+    long long ts = 0;
+    if (!(fields >> ts)) {
+      if (!options.allow_missing_timestamps) {
+        throw std::runtime_error("missing timestamp at line " +
+                                 std::to_string(line_number));
+      }
+      ts = 0;
+    }
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                     static_cast<Timestamp>(ts));
+  }
+  return builder.build_temporal();
+}
+
+TemporalGraph load_temporal_edge_list_file(const std::string& path,
+                                           const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open edge list file: " + path);
+  }
+  return load_temporal_edge_list(in, options);
+}
+
+void save_temporal_edge_list(const TemporalGraph& graph, std::ostream& out) {
+  out << "# parcycle temporal edge list: src dst ts\n";
+  for (const auto& e : graph.edges_by_time()) {
+    out << e.src << ' ' << e.dst << ' ' << e.ts << '\n';
+  }
+}
+
+void save_temporal_edge_list_file(const TemporalGraph& graph,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open output file: " + path);
+  }
+  save_temporal_edge_list(graph, out);
+}
+
+}  // namespace parcycle

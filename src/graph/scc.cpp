@@ -1,0 +1,129 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace parcycle {
+
+namespace {
+
+// Iterative Tarjan; recursion depth on real graphs can exceed the stack.
+class TarjanScc {
+ public:
+  TarjanScc(const Digraph& graph, const std::function<bool(VertexId)>* include)
+      : graph_(graph),
+        include_(include),
+        index_(graph.num_vertices(), kUnvisited),
+        lowlink_(graph.num_vertices(), 0),
+        on_stack_(graph.num_vertices(), 0) {
+    result_.component.assign(graph.num_vertices(), kInvalidVertex);
+  }
+
+  SccResult run() {
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (index_[v] == kUnvisited && included(v)) {
+        strong_connect(v);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr VertexId kUnvisited = kInvalidVertex;
+
+  bool included(VertexId v) const {
+    return include_ == nullptr || (*include_)(v);
+  }
+
+  struct Frame {
+    VertexId vertex;
+    std::size_t next_neighbor;
+  };
+
+  void strong_connect(VertexId root) {
+    frames_.push_back(Frame{root, 0});
+    visit(root);
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      const VertexId v = frame.vertex;
+      const auto neighbors = graph_.out_neighbors(v);
+      bool descended = false;
+      while (frame.next_neighbor < neighbors.size()) {
+        const VertexId w = neighbors[frame.next_neighbor++];
+        if (!included(w)) {
+          continue;
+        }
+        if (index_[w] == kUnvisited) {
+          frames_.push_back(Frame{w, 0});
+          visit(w);
+          descended = true;
+          break;
+        }
+        if (on_stack_[w]) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      // v is finished; pop an SCC if v is a root.
+      if (lowlink_[v] == index_[v]) {
+        for (;;) {
+          const VertexId w = tarjan_stack_.back();
+          tarjan_stack_.pop_back();
+          on_stack_[w] = 0;
+          result_.component[w] = result_.num_components;
+          if (w == v) {
+            break;
+          }
+        }
+        result_.num_components += 1;
+      }
+      frames_.pop_back();
+      if (!frames_.empty()) {
+        const VertexId parent = frames_.back().vertex;
+        lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+      }
+    }
+  }
+
+  void visit(VertexId v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    next_index_ += 1;
+    tarjan_stack_.push_back(v);
+    on_stack_[v] = 1;
+  }
+
+  const Digraph& graph_;
+  const std::function<bool(VertexId)>* include_;
+  std::vector<VertexId> index_;
+  std::vector<VertexId> lowlink_;
+  std::vector<char> on_stack_;
+  std::vector<VertexId> tarjan_stack_;
+  std::vector<Frame> frames_;
+  VertexId next_index_ = 0;
+  SccResult result_;
+};
+
+}  // namespace
+
+SccResult strongly_connected_components(const Digraph& graph) {
+  return TarjanScc(graph, nullptr).run();
+}
+
+SccResult strongly_connected_components(
+    const Digraph& graph, const std::function<bool(VertexId)>& include) {
+  return TarjanScc(graph, &include).run();
+}
+
+std::vector<std::size_t> component_sizes(const SccResult& scc) {
+  std::vector<std::size_t> sizes(scc.num_components, 0);
+  for (const VertexId comp : scc.component) {
+    if (comp != kInvalidVertex) {
+      sizes[comp] += 1;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace parcycle

@@ -1,0 +1,36 @@
+// Strongly connected components (iterative Tarjan) plus the filtered variant
+// Johnson's algorithm needs: SCCs of the subgraph induced by an arbitrary
+// vertex predicate, without materialising the subgraph.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+struct SccResult {
+  // Component id per vertex; ids are in reverse topological order of the
+  // condensation (Tarjan's numbering). Vertices excluded by the filter get
+  // kInvalidVertex.
+  std::vector<VertexId> component;
+  VertexId num_components = 0;
+
+  bool same_component(VertexId u, VertexId v) const noexcept {
+    return component[u] != kInvalidVertex && component[u] == component[v];
+  }
+};
+
+// SCCs of the whole graph.
+SccResult strongly_connected_components(const Digraph& graph);
+
+// SCCs of the subgraph induced by vertices for which `include(v)` is true.
+SccResult strongly_connected_components(
+    const Digraph& graph, const std::function<bool(VertexId)>& include);
+
+// Sizes of each component, indexed by component id.
+std::vector<std::size_t> component_sizes(const SccResult& scc);
+
+}  // namespace parcycle

@@ -1,0 +1,93 @@
+#include "graph/temporal_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace parcycle {
+
+TemporalGraph::TemporalGraph(VertexId num_vertices,
+                             std::vector<TemporalEdge> edges)
+    : num_vertices_(num_vertices) {
+  for ([[maybe_unused]] const auto& e : edges) {
+    assert(e.src < num_vertices && e.dst < num_vertices);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i].id = static_cast<EdgeId>(i);
+  }
+  edges_by_time_ = std::move(edges);
+
+  if (edges_by_time_.empty()) {
+    min_ts_ = 0;
+    max_ts_ = 0;
+  } else {
+    min_ts_ = edges_by_time_.front().ts;
+    max_ts_ = edges_by_time_.back().ts;
+  }
+
+  out_offsets_.assign(num_vertices_ + 1, 0);
+  in_offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& e : edges_by_time_) {
+    out_offsets_[e.src + 1] += 1;
+    in_offsets_[e.dst + 1] += 1;
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_edges_.resize(edges_by_time_.size());
+  in_edges_.resize(edges_by_time_.size());
+  {
+    std::vector<std::size_t> out_cursor(out_offsets_.begin(),
+                                        out_offsets_.end() - 1);
+    std::vector<std::size_t> in_cursor(in_offsets_.begin(),
+                                       in_offsets_.end() - 1);
+    // Iterating edges in (ts, id) order keeps every adjacency list sorted by
+    // (ts, id) without a per-list sort.
+    for (const auto& e : edges_by_time_) {
+      out_edges_[out_cursor[e.src]++] = OutEdge{e.dst, e.ts, e.id};
+      in_edges_[in_cursor[e.dst]++] = InEdge{e.src, e.ts, e.id};
+    }
+  }
+}
+
+std::span<const TemporalGraph::OutEdge> TemporalGraph::out_edges_in_window(
+    VertexId v, Timestamp lo, Timestamp hi) const noexcept {
+  const auto all = out_edges(v);
+  const auto first = std::lower_bound(
+      all.begin(), all.end(), lo,
+      [](const OutEdge& e, Timestamp t) { return e.ts < t; });
+  const auto last = std::upper_bound(
+      first, all.end(), hi,
+      [](Timestamp t, const OutEdge& e) { return t < e.ts; });
+  return {first, last};
+}
+
+std::span<const TemporalGraph::InEdge> TemporalGraph::in_edges_in_window(
+    VertexId v, Timestamp lo, Timestamp hi) const noexcept {
+  const auto all = in_edges(v);
+  const auto first = std::lower_bound(
+      all.begin(), all.end(), lo,
+      [](const InEdge& e, Timestamp t) { return e.ts < t; });
+  const auto last = std::upper_bound(
+      first, all.end(), hi,
+      [](Timestamp t, const InEdge& e) { return t < e.ts; });
+  return {first, last};
+}
+
+Digraph TemporalGraph::static_projection() const {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(edges_by_time_.size());
+  for (const auto& e : edges_by_time_) {
+    pairs.emplace_back(e.src, e.dst);
+  }
+  return Digraph(num_vertices_, std::move(pairs), /*dedup=*/true);
+}
+
+}  // namespace parcycle

@@ -1,0 +1,88 @@
+// Directed temporal multigraph in CSR form.
+//
+// Edges carry integer timestamps; parallel edges (same endpoints, different
+// or equal timestamps) are preserved. Per-vertex adjacency is sorted by
+// (timestamp, id) so time-window filtered iteration is a binary search plus a
+// contiguous scan — the access pattern every windowed algorithm in this
+// library relies on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class TemporalGraph {
+ public:
+  // Half-edge stored in the out-adjacency of a source vertex.
+  struct OutEdge {
+    VertexId dst;
+    Timestamp ts;
+    EdgeId id;
+  };
+  // Half-edge stored in the in-adjacency of a destination vertex.
+  struct InEdge {
+    VertexId src;
+    Timestamp ts;
+    EdgeId id;
+  };
+
+  TemporalGraph() = default;
+
+  // `edges` need not be sorted; ids are (re)assigned by (ts, src, dst) rank.
+  TemporalGraph(VertexId num_vertices, std::vector<TemporalEdge> edges);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_by_time_.size());
+  }
+
+  // All edges in ascending (ts, src, dst) order; edge `id` equals its index.
+  std::span<const TemporalEdge> edges_by_time() const noexcept {
+    return edges_by_time_;
+  }
+
+  const TemporalEdge& edge(EdgeId id) const noexcept {
+    return edges_by_time_[id];
+  }
+
+  std::span<const OutEdge> out_edges(VertexId v) const noexcept {
+    return {out_edges_.data() + out_offsets_[v],
+            out_edges_.data() + out_offsets_[v + 1]};
+  }
+
+  std::span<const InEdge> in_edges(VertexId v) const noexcept {
+    return {in_edges_.data() + in_offsets_[v],
+            in_edges_.data() + in_offsets_[v + 1]};
+  }
+
+  // Out-edges of v with ts in [lo, hi], both bounds inclusive.
+  std::span<const OutEdge> out_edges_in_window(VertexId v, Timestamp lo,
+                                               Timestamp hi) const noexcept;
+  // In-edges of v with ts in [lo, hi], both bounds inclusive.
+  std::span<const InEdge> in_edges_in_window(VertexId v, Timestamp lo,
+                                             Timestamp hi) const noexcept;
+
+  Timestamp min_timestamp() const noexcept { return min_ts_; }
+  Timestamp max_timestamp() const noexcept { return max_ts_; }
+  // max - min; the paper's "time span T".
+  Timestamp time_span() const noexcept { return max_ts_ - min_ts_; }
+
+  // Static digraph with one edge per distinct (src, dst) pair.
+  Digraph static_projection() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<TemporalEdge> edges_by_time_;
+  std::vector<std::size_t> out_offsets_{0};
+  std::vector<OutEdge> out_edges_;
+  std::vector<std::size_t> in_offsets_{0};
+  std::vector<InEdge> in_edges_;
+  Timestamp min_ts_ = 0;
+  Timestamp max_ts_ = 0;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,26 @@
+// Fundamental graph value types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace parcycle {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Timestamp = std::int64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+// A directed temporal edge. `id` is the edge's rank in the global
+// (timestamp, source, destination) order, so comparing ids is the canonical
+// tie-break the enumeration algorithms use to assign each cycle to exactly
+// one starting edge.
+struct TemporalEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Timestamp ts = 0;
+  EdgeId id = kInvalidEdge;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,68 @@
+// Deterministic scheduling simulator.
+//
+// The container this library builds in has a single physical core, so the
+// paper's Figures 1 and 9 (per-thread busy times and strong scaling up to
+// 1024 threads) cannot be reproduced as wall-clock measurements. They are,
+// however, scheduling-theory facts about the task cost distributions the
+// algorithms produce — and those distributions we *can* measure exactly
+// (per-search edge-visit counts are hardware independent).
+//
+// This module replays a measured task-cost multiset on p virtual cores with
+// greedy dynamic scheduling (each task goes to the earliest-available core,
+// which is what a work-stealing pool converges to for independent tasks):
+//
+//  * coarse-grained runs feed one task per starting edge -> a handful of
+//    giant searches dominate a core each, giving Figure 1a's skew and the
+//    saturating speedup of Figure 9;
+//  * fine-grained runs chop every search into tasks bounded by the measured
+//    task granularity -> near-uniform busy times (Figure 1b) and near-linear
+//    speedup until tasks run out.
+//
+// The simulator also honours a per-job critical-path bound: a job's chunks
+// cannot finish faster than its sequential depth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace parcycle {
+
+struct SimJob {
+  double cost = 0.0;           // total work of the job (arbitrary unit)
+  double critical_path = 0.0;  // lower bound on the job's completion span
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::vector<double> core_busy;  // busy work per virtual core
+  std::size_t num_tasks = 0;
+
+  double total_work() const {
+    double sum = 0.0;
+    for (const double busy : core_busy) {
+      sum += busy;
+    }
+    return sum;
+  }
+  // Ratio of the busiest core to the average: 1.0 = perfect balance.
+  double imbalance() const;
+  double speedup_vs_serial() const {
+    return makespan > 0.0 ? total_work() / makespan : 0.0;
+  }
+};
+
+// Coarse-grained model: each job is one indivisible task. Jobs are assigned
+// in the given order (the algorithms issue starting edges in timestamp
+// order) to the earliest-available core.
+SimResult simulate_coarse(std::span<const SimJob> jobs, unsigned cores);
+
+// Fine-grained model: each job is chopped into chunks of at most
+// `granularity` work which are then scheduled like independent tasks, except
+// that a job's completion cannot beat its critical path (its chunks are
+// spread round-robin, modelling steals from the deque of the worker that
+// unfolds the job's recursion tree).
+SimResult simulate_fine(std::span<const SimJob> jobs, unsigned cores,
+                        double granularity);
+
+}  // namespace parcycle

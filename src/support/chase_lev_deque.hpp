@@ -1,0 +1,137 @@
+// Chase-Lev work-stealing deque.
+//
+// Single-owner push/pop at the bottom, concurrent steal at the top. Memory
+// ordering follows Le, Pop, Cohen, Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP 2013). The ring buffer grows
+// geometrically; retired buffers are kept alive until the deque is destroyed
+// so in-flight thieves never read freed memory (standard practice; the memory
+// overhead is bounded by 2x the high-water mark).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace parcycle {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "deque entries are copied across threads without locks");
+
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64) {
+    auto buffer = std::make_unique<Buffer>(initial_capacity);
+    buffer_.store(buffer.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(buffer));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. LIFO.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // Lost the race.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread. FIFO.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) {
+      return std::nullopt;
+    }
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // Lost the race to another thief or the owner.
+    }
+    return item;
+  }
+
+  // Approximate size; exact only when quiescent.
+  std::int64_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), data(new std::atomic<T>[cap]) {
+      assert((cap & (cap - 1)) == 0 && "capacity must be a power of two");
+    }
+
+    T get(std::int64_t index) const noexcept {
+      return data[index & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t index, T item) noexcept {
+      data[index & mask].store(item, std::memory_order_relaxed);
+    }
+
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> data;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t top, std::int64_t bottom) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = top; i < bottom; ++i) {
+      bigger->put(i, old->get(i));
+    }
+    Buffer* raw = bigger.get();
+    buffer_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+  // Owner-only; keeps old buffers alive for lock-free thieves.
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace parcycle

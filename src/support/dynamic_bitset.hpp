@@ -1,0 +1,112 @@
+// Fixed-size-at-construction bitset with the operations the enumeration
+// algorithms need: set/reset/test, bulk clear, population count, and the set
+// intersection used by the temporal cycle-union preprocessing.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parcycle {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  explicit DynamicBitset(std::size_t num_bits)
+      : num_bits_(num_bits), words_(word_count(num_bits), 0) {}
+
+  void resize(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(word_count(num_bits), 0);
+  }
+
+  std::size_t size() const noexcept { return num_bits_; }
+
+  bool test(std::size_t pos) const noexcept {
+    assert(pos < num_bits_);
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  void set(std::size_t pos) noexcept {
+    assert(pos < num_bits_);
+    words_[pos >> 6] |= (std::uint64_t{1} << (pos & 63));
+  }
+
+  void reset(std::size_t pos) noexcept {
+    assert(pos < num_bits_);
+    words_[pos >> 6] &= ~(std::uint64_t{1} << (pos & 63));
+  }
+
+  // Sets the bit and reports whether it was previously clear.
+  bool test_and_set(std::size_t pos) noexcept {
+    assert(pos < num_bits_);
+    std::uint64_t& word = words_[pos >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (pos & 63);
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
+
+  void clear() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto word : words_) {
+      total += static_cast<std::size_t>(std::popcount(word));
+    }
+    return total;
+  }
+
+  bool any() const noexcept {
+    return std::any_of(words_.begin(), words_.end(),
+                       [](std::uint64_t w) { return w != 0; });
+  }
+
+  bool none() const noexcept { return !any(); }
+
+  // In-place intersection; both sets must have the same size.
+  DynamicBitset& operator&=(const DynamicBitset& other) noexcept {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
+    assert(num_bits_ == other.num_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+
+  bool operator==(const DynamicBitset& other) const noexcept {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  // Invokes fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t word = words_[wi];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  static std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,244 @@
+#include "support/scheduler.hpp"
+
+#include <chrono>
+
+#include "support/prng.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace parcycle {
+
+namespace {
+
+thread_local Scheduler* tl_scheduler = nullptr;
+thread_local int tl_worker_id = -1;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Scheduler* Scheduler::current() noexcept { return tl_scheduler; }
+
+int Scheduler::current_worker_id() noexcept { return tl_worker_id; }
+
+Scheduler::Scheduler(unsigned num_threads)
+    : num_workers_(num_threads == 0 ? 1 : num_threads) {
+  assert(tl_scheduler == nullptr &&
+         "nested schedulers on one thread are not supported");
+  slots_.reserve(num_workers_);
+  SplitMix64 seeder(0x5eedc0de12345678ULL);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    slots_.back()->steal_seed = seeder.next() | 1;
+  }
+  // The constructing thread is worker 0.
+  tl_scheduler = this;
+  tl_worker_id = 0;
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(park_mutex_);
+    wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  park_cv_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+  tl_scheduler = nullptr;
+  tl_worker_id = -1;
+  // All groups must have been waited on before destruction; any task still in
+  // a deque at this point is a bug in the caller.
+  for (auto& slot : slots_) {
+    assert(slot->deque.empty() && "scheduler destroyed with pending tasks");
+    (void)slot;
+  }
+}
+
+void Scheduler::worker_main(unsigned worker_id) {
+  tl_scheduler = this;
+  tl_worker_id = static_cast<int>(worker_id);
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    detail::TaskBase* task = find_task(worker_id);
+    if (task != nullptr) {
+      execute(task, worker_id);
+      continue;
+    }
+    // Park until new work is announced. The epoch/counter protocol below
+    // avoids lost wakeups; the timed wait is belt-and-braces.
+    const std::uint64_t epoch = wake_epoch_.load(std::memory_order_acquire);
+    num_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    task = find_task(worker_id);
+    if (task != nullptr) {
+      num_sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      execute(task, worker_id);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(park_mutex_);
+      park_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               wake_epoch_.load(std::memory_order_acquire) != epoch;
+      });
+    }
+    num_sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  tl_scheduler = nullptr;
+  tl_worker_id = -1;
+}
+
+void Scheduler::execute(detail::TaskBase* task, unsigned worker_id) {
+  WorkerSlot& slot = *slots_[worker_id];
+  slot.stats.tasks_executed += 1;
+  if (task->creator_worker != worker_id) {
+    slot.stats.tasks_stolen += 1;
+  }
+  TaskGroup* group = task->group;
+  const std::uint64_t t0 = now_ns();
+  try {
+    task->run();
+  } catch (...) {
+    group->record_exception(std::current_exception());
+  }
+  slot.stats.busy_ns += now_ns() - t0;
+  delete task;
+  group->pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+detail::TaskBase* Scheduler::find_task(unsigned worker_id) {
+  if (auto task = slots_[worker_id]->deque.pop()) {
+    return *task;
+  }
+  return steal_task(worker_id);
+}
+
+detail::TaskBase* Scheduler::steal_task(unsigned worker_id) {
+  if (num_workers_ == 1) {
+    return nullptr;
+  }
+  WorkerSlot& slot = *slots_[worker_id];
+  // xorshift-based victim selection; a couple of sweeps over the other
+  // workers before giving up.
+  std::uint64_t seed = slot.steal_seed;
+  const unsigned attempts = 2 * num_workers_;
+  for (unsigned i = 0; i < attempts; ++i) {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    const unsigned victim = static_cast<unsigned>(seed % num_workers_);
+    if (victim == worker_id) {
+      continue;
+    }
+    if (auto task = slots_[victim]->deque.steal()) {
+      slot.steal_seed = seed;
+      return *task;
+    }
+  }
+  slot.steal_seed = seed;
+  return nullptr;
+}
+
+void Scheduler::push_task(detail::TaskBase* task) {
+  const int worker = tl_worker_id;
+  assert(tl_scheduler == this && worker >= 0 &&
+         "tasks must be spawned from a worker thread of this scheduler");
+  slots_[static_cast<unsigned>(worker)]->deque.push(task);
+  slots_[static_cast<unsigned>(worker)]->stats.tasks_spawned += 1;
+  wake_workers();
+}
+
+void Scheduler::wake_workers() {
+  // Pairs with the seq_cst increment of num_sleepers_ in worker_main: either
+  // the sleeper sees our push in its re-check, or we see its increment here.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (num_sleepers_.load(std::memory_order_relaxed) > 0) {
+    {
+      std::lock_guard<std::mutex> lk(park_mutex_);
+      wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+    }
+    park_cv_.notify_all();
+  }
+}
+
+std::vector<WorkerStats> Scheduler::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(num_workers_);
+  for (const auto& slot : slots_) {
+    out.push_back(slot->stats);
+  }
+  return out;
+}
+
+void Scheduler::reset_stats() {
+  for (auto& slot : slots_) {
+    slot->stats = WorkerStats{};
+  }
+}
+
+std::int64_t Scheduler::local_queue_size() const noexcept {
+  const int worker = tl_worker_id;
+  if (tl_scheduler != this || worker < 0) {
+    return 0;
+  }
+  return slots_[static_cast<unsigned>(worker)]->deque.size();
+}
+
+TaskGroup::TaskGroup() : sched_(*Scheduler::current()) {
+  assert(Scheduler::current() != nullptr &&
+         "TaskGroup requires an active scheduler on this thread");
+}
+
+void TaskGroup::wait() {
+  const int worker = Scheduler::current_worker_id();
+  assert(Scheduler::current() == &sched_ && worker >= 0 &&
+         "wait() must be called from a worker thread of the bound scheduler");
+  const auto worker_id = static_cast<unsigned>(worker);
+  int idle_spins = 0;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    detail::TaskBase* task = sched_.find_task(worker_id);
+    if (task != nullptr) {
+      sched_.execute(task, worker_id);
+      idle_spins = 0;
+      continue;
+    }
+    // The remaining tasks of this group are executing on other workers; back
+    // off politely while they finish.
+    if (++idle_spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+  if (has_exception_.load(std::memory_order_acquire)) {
+    std::exception_ptr to_throw;
+    {
+      LockGuard<Spinlock> guard(exception_lock_);
+      to_throw = exception_;
+      exception_ = nullptr;
+      has_exception_.store(false, std::memory_order_release);
+    }
+    if (to_throw) {
+      std::rethrow_exception(to_throw);
+    }
+  }
+}
+
+void TaskGroup::record_exception(std::exception_ptr eptr) {
+  LockGuard<Spinlock> guard(exception_lock_);
+  if (!exception_) {
+    exception_ = eptr;
+    has_exception_.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace parcycle

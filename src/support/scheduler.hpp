@@ -1,0 +1,199 @@
+// Work-stealing task scheduler.
+//
+// This is the library's substitute for the TBB runtime the paper builds on:
+// every worker owns a Chase-Lev deque; a worker executes its own tasks in
+// LIFO order (preserving the depth-first order of the recursion tree it is
+// unfolding, which is what lets the fine-grained Johnson algorithm keep the
+// serial pruning discipline on the non-stolen part of the tree) and steals
+// from the FIFO end of a random victim when idle.
+//
+// The thread that constructs the Scheduler becomes worker 0 and participates
+// in task execution whenever it calls TaskGroup::wait(). TaskGroup::wait()
+// never blocks the thread: it keeps executing pending tasks (its own first,
+// stolen ones otherwise) until every task spawned into the group has
+// completed, exactly like tbb::task_group::wait().
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/chase_lev_deque.hpp"
+#include "support/spinlock.hpp"
+
+namespace parcycle {
+
+class Scheduler;
+class TaskGroup;
+
+namespace detail {
+
+struct TaskBase {
+  virtual ~TaskBase() = default;
+  virtual void run() = 0;
+
+  TaskGroup* group = nullptr;
+  // Worker that spawned the task; compared against the executing worker to
+  // detect steals (the algorithms' copy-on-steal hook).
+  std::uint32_t creator_worker = 0;
+};
+
+template <typename F>
+struct ClosureTask final : TaskBase {
+  explicit ClosureTask(F&& f) : fn(std::move(f)) {}
+  void run() override { fn(); }
+  F fn;
+};
+
+}  // namespace detail
+
+// Per-worker execution statistics; used by the Figure 1 reproduction
+// (per-thread busy time) and by scheduler tests.
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_stolen = 0;  // tasks acquired from another worker's deque
+  std::uint64_t busy_ns = 0;       // wall time spent inside task bodies
+};
+
+class Scheduler {
+ public:
+  // Spawns `num_threads - 1` additional worker threads; the calling thread is
+  // registered as worker 0. Only one Scheduler may be active per thread.
+  explicit Scheduler(unsigned num_threads);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned num_workers() const noexcept { return num_workers_; }
+
+  // Scheduler active on the calling thread, or nullptr.
+  static Scheduler* current() noexcept;
+  // Worker index of the calling thread within its scheduler, or -1.
+  static int current_worker_id() noexcept;
+
+  std::vector<WorkerStats> worker_stats() const;
+  void reset_stats();
+
+  // Approximate number of tasks waiting in the calling worker's deque. The
+  // fine-grained algorithms use this for adaptive task granularity: spawning
+  // is pointless when the deque already holds plenty of stealable work.
+  std::int64_t local_queue_size() const noexcept;
+
+ private:
+  friend class TaskGroup;
+
+  struct alignas(64) WorkerSlot {
+    ChaseLevDeque<detail::TaskBase*> deque;
+    WorkerStats stats;
+    std::uint64_t steal_seed = 0;
+  };
+
+  void worker_main(unsigned worker_id);
+  void execute(detail::TaskBase* task, unsigned worker_id);
+  detail::TaskBase* find_task(unsigned worker_id);
+  detail::TaskBase* steal_task(unsigned worker_id);
+  void push_task(detail::TaskBase* task);
+  void wake_workers();
+
+  unsigned num_workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> num_sleepers_{0};
+  std::atomic<std::uint64_t> wake_epoch_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+// A group of tasks that can be waited on. Groups may nest arbitrarily (each
+// recursive call of the fine-grained algorithms owns one).
+class TaskGroup {
+ public:
+  // Binds to the scheduler active on this thread.
+  TaskGroup();
+  explicit TaskGroup(Scheduler& sched) : sched_(sched) {}
+  ~TaskGroup() { assert(pending_.load(std::memory_order_relaxed) == 0); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Spawns fn as an independently schedulable task. Must be called from a
+  // worker thread of the bound scheduler.
+  template <typename F>
+  void spawn(F&& fn) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    auto* task = new detail::ClosureTask<std::decay_t<F>>(std::forward<F>(fn));
+    task->group = this;
+    task->creator_worker =
+        static_cast<std::uint32_t>(Scheduler::current_worker_id());
+    sched_.push_task(task);
+  }
+
+  // Executes pending work until every task spawned into this group (including
+  // tasks spawned transitively into it) has finished. Re-throws the first
+  // exception raised by any task in the group.
+  void wait();
+
+  bool done() const noexcept {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  friend class Scheduler;
+
+  void record_exception(std::exception_ptr eptr);
+
+  Scheduler& sched_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> has_exception_{false};
+  Spinlock exception_lock_;
+  std::exception_ptr exception_;
+};
+
+// Dynamic parallel for-each over [begin, end): one task per index, scheduled
+// dynamically. This is exactly the coarse-grained parallelisation pattern of
+// Section 4 of the paper when the indices are starting vertices/edges.
+template <typename Fn>
+void parallel_for_each_index(Scheduler& sched, std::size_t begin,
+                             std::size_t end, Fn&& fn) {
+  TaskGroup group(sched);
+  for (std::size_t i = begin; i < end; ++i) {
+    group.spawn([i, &fn] { fn(i); });
+  }
+  group.wait();
+}
+
+// Chunked variant for cheap loop bodies: splits the range into `chunks`
+// contiguous blocks, one task per block.
+template <typename Fn>
+void parallel_for_chunked(Scheduler& sched, std::size_t begin, std::size_t end,
+                          std::size_t num_chunks, Fn&& fn) {
+  if (end <= begin) {
+    return;
+  }
+  const std::size_t total = end - begin;
+  num_chunks = std::max<std::size_t>(1, std::min(num_chunks, total));
+  const std::size_t chunk = (total + num_chunks - 1) / num_chunks;
+  TaskGroup group(sched);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    group.spawn([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        fn(i);
+      }
+    });
+  }
+  group.wait();
+}
+
+}  // namespace parcycle

@@ -1,0 +1,65 @@
+// Minimal test-and-test-and-set spinlock.
+//
+// Used to guard per-thread algorithm state during copy-on-steal (see
+// core/state.hpp). Critical sections are short (a state copy or a recursive
+// unblocking pass) and contention is rare (a steal happens at most once per
+// task), so a spinlock beats a mutex here.
+#pragma once
+
+#include <atomic>
+
+namespace parcycle {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Spin on a plain load to avoid cache-line ping-pong between waiters.
+      while (locked_.load(std::memory_order_relaxed)) {
+        cpu_relax();
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    // Fallback: a compiler barrier so the loop is not optimised into a tight
+    // load without any pacing.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard mirroring std::lock_guard for the spinlock.
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,59 @@
+// Timing and work-metric instrumentation.
+//
+// The paper quantifies algorithmic work as the number of edges visited during
+// execution (Section 8); WorkCounters mirrors that. Counters are plain
+// members of per-thread state objects and are merged at the end of a run, so
+// the hot loops never touch shared cache lines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace parcycle {
+
+// Wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Work metrics accumulated by one enumeration run.
+struct WorkCounters {
+  std::uint64_t edges_visited = 0;    // paper's primary work metric
+  std::uint64_t vertices_visited = 0; // recursive-call entries
+  std::uint64_t cycles_found = 0;
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t state_copies = 0;     // copy-on-steal full copies
+  std::uint64_t state_reuses = 0;     // same-thread in-place reuses
+  std::uint64_t unblock_operations = 0;
+
+  WorkCounters& operator+=(const WorkCounters& other) {
+    edges_visited += other.edges_visited;
+    vertices_visited += other.vertices_visited;
+    cycles_found += other.cycles_found;
+    tasks_spawned += other.tasks_spawned;
+    state_copies += other.state_copies;
+    state_reuses += other.state_reuses;
+    unblock_operations += other.unblock_operations;
+    return *this;
+  }
+};
+
+}  // namespace parcycle

@@ -1,0 +1,21 @@
+// Brute-force temporal cycle enumeration: a plain time-respecting DFS with
+// no pruning beyond the path, the window and strict timestamp increase.
+// The correctness oracle for the temporal test suite and the Tiernan-class
+// baseline for the temporal benchmarks.
+#pragma once
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace parcycle {
+
+// Enumerates all temporal cycles (strictly increasing edge timestamps, all
+// within [t, t + window] of the first edge's timestamp t). Each cycle is
+// found exactly once, from its unique minimum-timestamp first edge.
+// `options.max_cycle_length` is honoured; other fields are ignored.
+EnumResult brute_temporal_cycles(const TemporalGraph& graph, Timestamp window,
+                                 const EnumOptions& options = {},
+                                 CycleSink* sink = nullptr);
+
+}  // namespace parcycle

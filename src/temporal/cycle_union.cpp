@@ -1,0 +1,95 @@
+#include "temporal/cycle_union.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace parcycle {
+
+namespace {
+
+constexpr Timestamp kNever = std::numeric_limits<Timestamp>::max();
+constexpr Timestamp kNegInf = std::numeric_limits<Timestamp>::min();
+
+// Index of the first edge with ts >= bound in the global time order.
+std::size_t lower_bound_index(std::span<const TemporalEdge> edges,
+                              Timestamp bound) {
+  return static_cast<std::size_t>(
+      std::lower_bound(edges.begin(), edges.end(), bound,
+                       [](const TemporalEdge& e, Timestamp t) {
+                         return e.ts < t;
+                       }) -
+      edges.begin());
+}
+
+}  // namespace
+
+void TemporalReachScratch::init(VertexId n) {
+  stamp_.assign(n, 0);
+  earliest_arrival_.assign(n, kNever);
+  latest_departure_.assign(n, kNegInf);
+  fwd_seen_.assign(n, 0);
+  epoch_ = 0;
+}
+
+void TemporalReachScratch::touch(VertexId v) {
+  if (stamp_[v] != epoch_) {
+    stamp_[v] = epoch_;
+    earliest_arrival_[v] = kNever;
+    latest_departure_[v] = kNegInf;
+    fwd_seen_[v] = 0;
+  }
+}
+
+bool TemporalReachScratch::compute(const TemporalGraph& graph,
+                                   const TemporalEdge& e0, Timestamp hi) {
+  epoch_ += 1;
+  const auto edges = graph.edges_by_time();
+  // The searchable slice: strictly after t0 (time-increasing cycles), within
+  // the window.
+  const std::size_t begin = lower_bound_index(edges, e0.ts + 1);
+  const std::size_t end = lower_bound_index(edges, hi + 1);
+
+  const VertexId head = e0.dst;
+  const VertexId tail = e0.src;
+  touch(head);
+  touch(tail);
+  // Arriving at the head via e0 at t0: the next hop must be > t0.
+  earliest_arrival_[head] = e0.ts;
+  fwd_seen_[head] = 1;
+
+  // Forward pass (ascending time): earliest strictly-increasing arrival.
+  for (std::size_t i = begin; i < end; ++i) {
+    const TemporalEdge& e = edges[i];
+    if (stamp_[e.src] == epoch_ && fwd_seen_[e.src] &&
+        e.ts > earliest_arrival_[e.src]) {
+      touch(e.dst);
+      if (!fwd_seen_[e.dst]) {
+        fwd_seen_[e.dst] = 1;
+        earliest_arrival_[e.dst] = e.ts;  // first hit is earliest: ascending
+      }
+    }
+  }
+  if (!(stamp_[tail] == epoch_ && fwd_seen_[tail])) {
+    return false;  // the tail is not temporally reachable: no cycle
+  }
+
+  // Backward pass (descending time): latest departure that still reaches the
+  // tail. An edge u -> tail is itself a valid departure at its timestamp.
+  latest_departure_[tail] = kNever;  // closing the cycle needs no further hop
+  for (std::size_t i = end; i-- > begin;) {
+    const TemporalEdge& e = edges[i];
+    if (stamp_[e.dst] == epoch_ && latest_departure_[e.dst] > e.ts) {
+      // Only vertices that the forward pass reached matter; still record the
+      // departure so intermediate hops chain, but restrict via contains().
+      touch(e.src);
+      if (latest_departure_[e.src] < e.ts) {
+        latest_departure_[e.src] = e.ts;  // first hit is latest: descending
+      }
+    }
+  }
+  // The head's own arrival is t0; contains(head) holds iff some departure
+  // > t0 exists, which is exactly the condition for any cycle.
+  return stamp_[head] == epoch_ && earliest_arrival_[head] < latest_departure_[head];
+}
+
+}  // namespace parcycle

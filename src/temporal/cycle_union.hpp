@@ -1,0 +1,63 @@
+// Temporal cycle-union preprocessing (Section 7 of the paper).
+//
+// For a starting edge e0 = (tail -> head, t0) and window [t0, t0 + delta],
+// the cycle-union is the set of vertices that can lie on a temporal cycle
+// through e0: vertices v whose earliest strictly-time-increasing arrival from
+// `head` (departing after t0) precedes the latest departure from v that still
+// reaches `tail` by the end of the window.
+//
+// Both passes are single scans over the window's slice of the global
+// time-ordered edge array (ascending for earliest arrival, descending for
+// latest departure), so each start costs O(edges in window) — the
+// linear-time, embarrassingly parallel replacement for 2SCENT's sequential
+// preprocessing that the paper contributes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class TemporalReachScratch {
+ public:
+  void init(VertexId n);
+
+  // Computes the cycle-union for the given starting edge and window end
+  // `hi` (inclusive). Returns false when no temporal cycle through e0 can
+  // exist (tail unreachable in time).
+  bool compute(const TemporalGraph& graph, const TemporalEdge& e0,
+               Timestamp hi);
+
+  // May vertex v lie on a temporal cycle of this start? (Valid after a
+  // successful compute; tail and head are always allowed.)
+  bool contains(VertexId v) const noexcept {
+    return stamp_[v] == epoch_ && earliest_arrival_[v] < latest_departure_[v];
+  }
+
+  // Earliest strictly-increasing arrival at v from the head (valid when
+  // stamped); used by tests.
+  Timestamp earliest_arrival(VertexId v) const noexcept {
+    return earliest_arrival_[v];
+  }
+  Timestamp latest_departure(VertexId v) const noexcept {
+    return latest_departure_[v];
+  }
+  bool reached_forward(VertexId v) const noexcept {
+    return stamp_[v] == epoch_ && fwd_seen_[v];
+  }
+
+ private:
+  void touch(VertexId v);
+
+  std::vector<std::uint32_t> stamp_;
+  std::vector<Timestamp> earliest_arrival_;
+  std::vector<Timestamp> latest_departure_;
+  std::vector<char> fwd_seen_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,83 @@
+// Internal search core for temporal cycle enumeration in the Johnson family:
+// time-respecting DFS with 2SCENT closing times and path bundles (paper
+// Section 7). Shared by the serial driver, the coarse-grained driver and the
+// 2SCENT baseline; the fine-grained driver reimplements the recursion with
+// task spawning but reuses the same state and helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/temporal_graph.hpp"
+#include "temporal/cycle_union.hpp"
+#include "temporal/temporal_state.hpp"
+
+namespace parcycle::detail {
+
+// Admissible continuation edges from `v` for a bundle whose earliest arrival
+// is `min_arrival`, grouped by destination (stable on ts). Plain data filled
+// by collect_continuations below.
+struct Continuation {
+  VertexId dst;
+  // Indices into the caller's edge scratch; [first, last) are this group's
+  // edges ascending by ts.
+  std::size_t first;
+  std::size_t last;
+};
+
+class TemporalJohnsonSearch {
+ public:
+  TemporalJohnsonSearch(const TemporalGraph& graph, Timestamp window,
+                        const EnumOptions& options, CycleSink* sink)
+      : graph_(graph), window_(window), options_(options), sink_(sink) {}
+
+  // Runs the full search rooted at starting edge e0. Counters accumulate in
+  // state.counters; returns the number of temporal cycle instances.
+  std::uint64_t search_from(const TemporalEdge& e0, ClosingTimeState& state,
+                            TemporalReachScratch* reach);
+
+  // Shared helpers ------------------------------------------------------------
+
+  // Sets up the root: returns false if the start can be skipped. On success
+  // the state holds hops [tail, head] with the head's bundle = {e0}.
+  static bool prepare_root(const TemporalGraph& graph, const TemporalEdge& e0,
+                           Timestamp window, bool use_cycle_union,
+                           TemporalReachScratch* reach, ClosingTimeState& state,
+                           Timestamp& hi_out);
+
+  // Expands and reports every instance of the current path closed by
+  // `closing`, in lockstep with the DP count. Thread-safe given a
+  // thread-safe sink (reads only the caller's state).
+  static void report_instances(const ClosingTimeState& state, VertexId tail,
+                               const BundleEdge& closing, CycleSink* sink);
+
+ private:
+  bool explore(ClosingTimeState& st, std::int32_t rem);
+
+  const TemporalGraph& graph_;
+  Timestamp window_;
+  const EnumOptions& options_;
+  CycleSink* sink_;
+  VertexId tail_ = kInvalidVertex;
+  Timestamp hi_ = 0;
+  const TemporalReachScratch* reach_ = nullptr;
+  std::uint64_t instances_found_ = 0;
+};
+
+// Number of path instances arriving strictly before `ts` (prefix sum over the
+// hop's bundle edges, which are ascending by ts).
+inline std::uint64_t instances_before(const ClosingTimeState::Hop& hop,
+                                      Timestamp ts) {
+  std::uint64_t total = 0;
+  for (const auto& edge : hop.edges) {
+    if (edge.ts >= ts) {
+      break;
+    }
+    total += edge.instances;
+  }
+  return total;
+}
+
+}  // namespace parcycle::detail

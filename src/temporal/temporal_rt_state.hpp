@@ -1,0 +1,149 @@
+// Search state of the temporal Read-Tarjan algorithm.
+//
+// Structurally identical to ReadTarjanState (core/rt_state.hpp) — path,
+// undo-logged blocking, lock-free prefix copy-on-steal, the same-thread
+// "floor" guard — but dead-end marks are keyed by arrival *time* instead of
+// remaining budget: fail_arrival[v] = t means arriving at v at any time >= t
+// provably cannot reach the cycle tail (later arrivals only ever see fewer
+// usable out-edges). Path hops additionally record their arrival timestamps.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/dynamic_bitset.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace parcycle {
+
+class TemporalRTState {
+ public:
+  static constexpr Timestamp kNever = std::numeric_limits<Timestamp>::max();
+
+  struct LogEntry {
+    VertexId v;
+    Timestamp old_arrival;
+    Timestamp new_arrival;
+  };
+
+  TemporalRTState() = default;
+  explicit TemporalRTState(VertexId capacity) { init(capacity); }
+
+  void init(VertexId capacity) {
+    capacity_ = capacity;
+    path_.assign(capacity + 1, kInvalidVertex);
+    path_edges_.assign(capacity + 1, kInvalidEdge);
+    path_arrivals_.assign(capacity + 1, 0);
+    path_len_ = 0;
+    on_path_.resize(capacity);
+    fail_arrival_.assign(capacity, kNever);
+    log_.clear();
+  }
+
+  void reset() {
+    truncate_log(0);
+    truncate_path(0);
+    counters = WorkCounters{};
+  }
+
+  VertexId capacity() const noexcept { return capacity_; }
+
+  // ---- path -------------------------------------------------------------
+
+  std::size_t path_length() const noexcept { return path_len_; }
+  VertexId path_vertex(std::size_t i) const noexcept { return path_[i]; }
+  EdgeId path_edge(std::size_t i) const noexcept { return path_edges_[i]; }
+  Timestamp path_arrival(std::size_t i) const noexcept {
+    return path_arrivals_[i];
+  }
+  VertexId frontier() const noexcept { return path_[path_len_ - 1]; }
+  Timestamp frontier_arrival() const noexcept {
+    return path_arrivals_[path_len_ - 1];
+  }
+  bool on_path(VertexId v) const noexcept { return on_path_.test(v); }
+
+  void push(VertexId v, EdgeId via_edge, Timestamp arrival) {
+    assert(path_len_ <= capacity_);
+    path_[path_len_] = v;
+    path_edges_[path_len_] = via_edge;
+    path_arrivals_[path_len_] = arrival;
+    path_len_ += 1;
+    on_path_.set(v);
+  }
+
+  void truncate_path(std::size_t len) {
+    while (path_len_ > len) {
+      path_len_ -= 1;
+      on_path_.reset(path_[path_len_]);
+    }
+  }
+
+  // ---- blocking ------------------------------------------------------------
+
+  Timestamp fail_arrival(VertexId v) const noexcept { return fail_arrival_[v]; }
+
+  bool can_visit(VertexId v, Timestamp arrival) const noexcept {
+    return !on_path_.test(v) && arrival < fail_arrival_[v];
+  }
+
+  void logged_set(VertexId v, Timestamp value) {
+    if (log_.size() == log_.capacity()) {
+      LockGuard<Spinlock> guard(realloc_lock_);
+      log_.reserve(log_.empty() ? 256 : 2 * log_.capacity());
+    }
+    log_.push_back(LogEntry{v, fail_arrival_[v], value});
+    fail_arrival_[v] = value;
+  }
+
+  std::size_t log_length() const noexcept { return log_.size(); }
+
+  void truncate_log(std::size_t len) {
+    while (log_.size() > len) {
+      const LogEntry entry = log_.back();
+      log_.pop_back();
+      fail_arrival_[entry.v] = entry.old_arrival;
+    }
+  }
+
+  // ---- copy-on-steal ----------------------------------------------------------
+
+  void copy_prefix_from(TemporalRTState& victim, std::size_t path_prefix,
+                        std::size_t log_prefix) {
+    assert(capacity_ == victim.capacity_);
+    assert(path_len_ == 0 && log_.empty());
+    LockGuard<Spinlock> guard(victim.realloc_lock_);
+    for (std::size_t i = 0; i < path_prefix; ++i) {
+      push(victim.path_[i], victim.path_edges_[i], victim.path_arrivals_[i]);
+    }
+    log_.reserve(log_prefix);
+    for (std::size_t i = 0; i < log_prefix; ++i) {
+      const LogEntry& entry = victim.log_[i];
+      log_.push_back(entry);
+      fail_arrival_[entry.v] = entry.new_arrival;
+    }
+    counters.state_copies += 1;
+  }
+
+  std::size_t floor() const noexcept { return floor_; }
+  void set_floor(std::size_t f) noexcept { floor_ = f; }
+
+  WorkCounters counters;
+
+ private:
+  VertexId capacity_ = 0;
+  std::size_t floor_ = 0;
+  std::vector<VertexId> path_;
+  std::vector<EdgeId> path_edges_;
+  std::vector<Timestamp> path_arrivals_;
+  std::size_t path_len_ = 0;
+  DynamicBitset on_path_;
+  std::vector<Timestamp> fail_arrival_;
+  std::vector<LogEntry> log_;
+  Spinlock realloc_lock_;
+};
+
+}  // namespace parcycle

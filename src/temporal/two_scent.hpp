@@ -1,0 +1,44 @@
+// Serial 2SCENT baseline (Kumar & Calders, "2SCENT: an efficient algorithm
+// for enumerating all simple temporal cycles", PVLDB 2018) — the comparison
+// point of the paper's Figure 9.
+//
+// Phase 1 ("source detection") scans edges in ascending timestamp order,
+// carrying per-vertex path summaries (root, start-time, earliest-arrival) to
+// find the seeds: starting edges through which at least one temporal cycle
+// closes within the window. This pass is inherently sequential and its
+// summaries can grow large — exactly the bottleneck the paper's scalable
+// cycle-union preprocessing (Section 7) removes.
+//
+// Phase 2 runs the closing-times + path-bundling search (the same machinery
+// as temporal_johnson_cycles, minus the cycle-union pruning) from each seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cycle_types.hpp"
+#include "core/options.hpp"
+#include "graph/temporal_graph.hpp"
+#include "support/dynamic_bitset.hpp"
+
+namespace parcycle {
+
+struct TwoScentStats {
+  std::uint64_t seed_edges = 0;          // starting edges phase 2 will search
+  std::uint64_t summary_entries_peak = 0;  // max live summary entries
+  std::uint64_t propagations = 0;          // summary copy steps (phase-1 work)
+};
+
+// Phase 1 only: flags (by edge id) every starting edge that can close a
+// temporal cycle within the window.
+DynamicBitset two_scent_seed_edges(const TemporalGraph& graph,
+                                   Timestamp window,
+                                   TwoScentStats* stats = nullptr);
+
+// Full pipeline. options.use_cycle_union is ignored (2SCENT uses its own
+// preprocessing); bundling and length constraints are honoured.
+EnumResult two_scent_cycles(const TemporalGraph& graph, Timestamp window,
+                            const EnumOptions& options = {},
+                            CycleSink* sink = nullptr,
+                            TwoScentStats* stats = nullptr);
+
+}  // namespace parcycle

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_support/datasets.hpp"
+#include "bench_support/partition.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/table.hpp"
+
+namespace parcycle {
+namespace {
+
+TEST(Datasets, RegistryHasAllFifteenTable4Entries) {
+  EXPECT_EQ(dataset_registry().size(), 15u);
+  EXPECT_EQ(dataset_by_name("WT").full_name, "wiki-talk");
+  EXPECT_THROW(dataset_by_name("nope"), std::out_of_range);
+}
+
+TEST(Datasets, AnalogsBuildDeterministically) {
+  const auto& spec = dataset_by_name("BA");
+  const TemporalGraph a = build_dataset(spec);
+  const TemporalGraph b = build_dataset(spec);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_vertices(), spec.vertices);
+  EXPECT_EQ(a.num_edges(), spec.edges);
+  EXPECT_EQ(a.edge(0).ts, b.edge(0).ts);
+}
+
+TEST(Partition, RoundRobinByTimestampOrder) {
+  const auto& spec = dataset_by_name("BA");
+  const TemporalGraph graph = build_dataset(spec);
+  const auto partition = partition_starting_edges(graph, 4);
+  ASSERT_EQ(partition.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& rank : partition) {
+    total += rank.size();
+  }
+  EXPECT_EQ(total, graph.num_edges());
+  // Consecutive edge ids land on consecutive ranks.
+  EXPECT_EQ(partition[0][0], 0u);
+  EXPECT_EQ(partition[1][0], 1u);
+  EXPECT_EQ(partition[2][0], 2u);
+  EXPECT_EQ(partition[3][0], 3u);
+}
+
+TEST(Partition, BalanceOfUniformCostsIsNearPerfect) {
+  const auto& spec = dataset_by_name("BA");
+  const TemporalGraph graph = build_dataset(spec);
+  const auto partition = partition_starting_edges(graph, 8);
+  std::vector<SimJob> costs(graph.num_edges(), SimJob{1.0, 0.0});
+  const PartitionBalance balance = evaluate_partition(partition, costs);
+  EXPECT_LT(balance.imbalance, 1.01);
+}
+
+TEST(Runner, AlgorithmsAgreeViaDispatch) {
+  const auto& spec = dataset_by_name("BA");
+  const TemporalGraph graph = build_dataset(spec);
+  Scheduler sched(2);
+  const Timestamp window = graph.time_span() / 16;
+  const auto serial = run_temporal(Algo::kSerialJohnson, graph, window, sched);
+  const auto fine = run_temporal(Algo::kFineJohnson, graph, window, sched);
+  const auto rt = run_temporal(Algo::kSerialReadTarjan, graph, window, sched);
+  EXPECT_EQ(fine.result.num_cycles, serial.result.num_cycles);
+  EXPECT_EQ(rt.result.num_cycles, serial.result.num_cycles);
+  EXPECT_GT(serial.seconds, 0.0);
+}
+
+TEST(Runner, StartCostsCoverEveryEdge) {
+  const auto& spec = dataset_by_name("BA");
+  const TemporalGraph graph = build_dataset(spec);
+  const StartCosts costs =
+      collect_temporal_start_costs(graph, graph.time_span() / 16);
+  EXPECT_EQ(costs.jobs.size(), graph.num_edges());
+  EXPECT_GT(costs.total_cost, 0.0);
+  EXPECT_GE(costs.max_cost, 1.0);
+}
+
+TEST(Runner, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Table, FormatsAndPrints) {
+  TextTable table({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("| a   | bb |"), std::string::npos);
+  EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::count(12), "12");
+  EXPECT_EQ(TextTable::fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(TextTable::with_unit(0.5), "500.0ms");
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,222 @@
+// Parallel enumeration correctness: coarse- and fine-grained variants must
+// produce exactly the serial cycle sets under every thread count, spawn
+// policy and copy-on-steal mode.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/coarse_grained.hpp"
+#include "core/fine_johnson.hpp"
+#include "core/fine_read_tarjan.hpp"
+#include "core/johnson.hpp"
+#include "core/read_tarjan.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+TemporalGraph test_graph(std::uint64_t seed) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 30;
+  params.num_edges = 220;
+  params.time_span = 1000;
+  params.attachment = 0.6;
+  params.seed = seed;
+  return scale_free_temporal(params);
+}
+
+// --- coarse-grained -----------------------------------------------------------
+
+class CoarseGrainedTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CoarseGrainedTest, StaticMatchesSerial) {
+  const unsigned threads = GetParam();
+  SplitMix64 seeds(42);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Digraph g = erdos_renyi(12, 40, seeds.next());
+    const auto serial = johnson_simple_cycles(g);
+    Scheduler sched(threads);
+    CollectingSink jsink;
+    CollectingSink rsink;
+    const auto cj = coarse_johnson_simple_cycles(g, sched, {}, &jsink);
+    const auto cr = coarse_read_tarjan_simple_cycles(g, sched, {}, &rsink);
+    EXPECT_EQ(cj.num_cycles, serial.num_cycles);
+    EXPECT_EQ(cr.num_cycles, serial.num_cycles);
+    EXPECT_EQ(jsink.sorted_cycles(), rsink.sorted_cycles());
+  }
+}
+
+TEST_P(CoarseGrainedTest, WindowedMatchesSerial) {
+  const unsigned threads = GetParam();
+  const TemporalGraph g = test_graph(7);
+  const Timestamp window = 200;
+  CollectingSink serial_sink;
+  const auto serial = johnson_windowed_cycles(g, window, {}, &serial_sink);
+
+  Scheduler sched(threads);
+  CollectingSink jsink;
+  CollectingSink rsink;
+  const auto cj = coarse_johnson_windowed_cycles(g, window, sched, {}, &jsink);
+  const auto cr =
+      coarse_read_tarjan_windowed_cycles(g, window, sched, {}, &rsink);
+  EXPECT_EQ(cj.num_cycles, serial.num_cycles);
+  EXPECT_EQ(cr.num_cycles, serial.num_cycles);
+  EXPECT_EQ(jsink.sorted_cycles(), serial_sink.sorted_cycles());
+  EXPECT_EQ(rsink.sorted_cycles(), serial_sink.sorted_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, CoarseGrainedTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// Coarse-grained Johnson is work efficient: its total edge visits equal the
+// serial algorithm's (Proposition 4.1).
+TEST(CoarseGrained, WorkEqualsSerial) {
+  const TemporalGraph g = test_graph(11);
+  const auto serial = johnson_windowed_cycles(g, 250);
+  Scheduler sched(4);
+  const auto coarse = coarse_johnson_windowed_cycles(g, 250, sched);
+  EXPECT_EQ(coarse.work.edges_visited, serial.work.edges_visited);
+}
+
+// --- fine-grained -------------------------------------------------------------
+
+struct FineParams {
+  unsigned threads;
+  SpawnPolicy policy;
+  bool naive_restore;
+};
+
+class FineGrainedTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int, bool>> {
+ protected:
+  ParallelOptions parallel_options() const {
+    const auto [threads, policy, naive] = GetParam();
+    ParallelOptions popts;
+    popts.spawn_policy =
+        policy == 0 ? SpawnPolicy::kAlways : SpawnPolicy::kAdaptive;
+    popts.naive_state_restore = naive;
+    return popts;
+  }
+  unsigned threads() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(FineGrainedTest, JohnsonMatchesSerial) {
+  const TemporalGraph g = test_graph(23);
+  const Timestamp window = 200;
+  CollectingSink serial_sink;
+  const auto serial = johnson_windowed_cycles(g, window, {}, &serial_sink);
+
+  Scheduler sched(threads());
+  CollectingSink sink;
+  const auto fine = fine_johnson_windowed_cycles(g, window, sched, {},
+                                                 parallel_options(), &sink);
+  EXPECT_EQ(fine.num_cycles, serial.num_cycles);
+  EXPECT_EQ(sink.sorted_cycles(), serial_sink.sorted_cycles());
+}
+
+TEST_P(FineGrainedTest, ReadTarjanMatchesSerial) {
+  const TemporalGraph g = test_graph(37);
+  const Timestamp window = 200;
+  CollectingSink serial_sink;
+  const auto serial = johnson_windowed_cycles(g, window, {}, &serial_sink);
+
+  Scheduler sched(threads());
+  CollectingSink sink;
+  const auto fine = fine_read_tarjan_windowed_cycles(
+      g, window, sched, {}, parallel_options(), &sink);
+  EXPECT_EQ(fine.num_cycles, serial.num_cycles);
+  EXPECT_EQ(sink.sorted_cycles(), serial_sink.sorted_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, FineGrainedTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(0, 1),  // kAlways, kAdaptive
+                       ::testing::Values(false, true)));
+
+// The figure-4a adversary: every cycle hangs off one starting edge, so this
+// is the case where fine-grained parallelism matters (and where the stolen
+// tasks get exercised hardest).
+TEST(FineGrained, Figure4aAdversary) {
+  const Digraph base = figure4a_graph(12);  // 1024 cycles
+  const TemporalGraph g = with_uniform_timestamps(base, 100, 3);
+  const Timestamp window = 1000;  // everything fits
+  const auto serial = johnson_windowed_cycles(g, window);
+  ASSERT_GE(serial.num_cycles, 1024u);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    Scheduler sched(threads);
+    ParallelOptions popts;
+    popts.spawn_policy = SpawnPolicy::kAlways;  // maximal stealing pressure
+    const auto fj =
+        fine_johnson_windowed_cycles(g, window, sched, {}, popts);
+    const auto fr =
+        fine_read_tarjan_windowed_cycles(g, window, sched, {}, popts);
+    EXPECT_EQ(fj.num_cycles, serial.num_cycles) << "threads=" << threads;
+    EXPECT_EQ(fr.num_cycles, serial.num_cycles) << "threads=" << threads;
+  }
+}
+
+// Repeated stress with spawn-always to shake out copy-on-steal races.
+TEST(FineGrained, StealStress) {
+  SplitMix64 seeds(0xdead);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TemporalGraph g = test_graph(seeds.next());
+    const auto serial = johnson_windowed_cycles(g, 150);
+    Scheduler sched(8);
+    ParallelOptions popts;
+    popts.spawn_policy = SpawnPolicy::kAlways;
+    const auto fj = fine_johnson_windowed_cycles(g, 150, sched, {}, popts);
+    const auto fr = fine_read_tarjan_windowed_cycles(g, 150, sched, {}, popts);
+    ASSERT_EQ(fj.num_cycles, serial.num_cycles) << "trial " << trial;
+    ASSERT_EQ(fr.num_cycles, serial.num_cycles) << "trial " << trial;
+  }
+}
+
+// Fine-grained Read-Tarjan is work efficient (Theorem 6.1): its edge visits
+// must match the serial Read-Tarjan's. Fine-grained Johnson may exceed the
+// serial Johnson's (Theorem 5.1) but never the Tiernan blow-up.
+TEST(FineGrained, ReadTarjanWorkEfficiency) {
+  const TemporalGraph g = test_graph(51);
+  Scheduler sched(4);
+  ParallelOptions popts;
+  popts.spawn_policy = SpawnPolicy::kAlways;
+  const auto serial = read_tarjan_windowed_cycles(g, 200);
+  const auto fine =
+      fine_read_tarjan_windowed_cycles(g, 200, sched, {}, popts);
+  EXPECT_EQ(fine.num_cycles, serial.num_cycles);
+  // Identical search work; only copies/scheduling differ.
+  EXPECT_EQ(fine.work.edges_visited, serial.work.edges_visited);
+}
+
+TEST(FineGrained, WindowSweepAgreesWithSerial) {
+  const TemporalGraph g = test_graph(77);
+  Scheduler sched(4);
+  // Windows above ~400 on this graph explode combinatorially (fine for a
+  // benchmark, not for a unit test).
+  for (const Timestamp window : {0, 50, 150, 300}) {
+    const auto serial = johnson_windowed_cycles(g, window);
+    const auto fj = fine_johnson_windowed_cycles(g, window, sched);
+    const auto fr = fine_read_tarjan_windowed_cycles(g, window, sched);
+    EXPECT_EQ(fj.num_cycles, serial.num_cycles) << "window=" << window;
+    EXPECT_EQ(fr.num_cycles, serial.num_cycles) << "window=" << window;
+  }
+}
+
+TEST(FineGrained, LengthConstraints) {
+  const TemporalGraph g = test_graph(91);
+  Scheduler sched(4);
+  for (const int max_len : {2, 3, 5}) {
+    EnumOptions options;
+    options.max_cycle_length = max_len;
+    const auto serial = johnson_windowed_cycles(g, 300, options);
+    const auto fj = fine_johnson_windowed_cycles(g, 300, sched, options);
+    const auto fr = fine_read_tarjan_windowed_cycles(g, 300, sched, options);
+    EXPECT_EQ(fj.num_cycles, serial.num_cycles) << "len=" << max_len;
+    EXPECT_EQ(fr.num_cycles, serial.num_cycles) << "len=" << max_len;
+  }
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,240 @@
+// Cross-checks the three serial enumeration algorithms against closed forms,
+// the paper's example graphs, and each other on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "core/johnson.hpp"
+#include "core/read_tarjan.hpp"
+#include "core/tiernan.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+// Number of simple cycles of the complete digraph K_n:
+// sum over k = 2..n of C(n, k) * (k-1)!.
+std::uint64_t complete_digraph_cycles(unsigned n) {
+  std::uint64_t total = 0;
+  for (unsigned k = 2; k <= n; ++k) {
+    std::uint64_t binom = 1;
+    for (unsigned i = 0; i < k; ++i) {
+      binom = binom * (n - i) / (i + 1);
+    }
+    std::uint64_t fact = 1;
+    for (unsigned i = 2; i < k; ++i) {
+      fact *= i;
+    }
+    total += binom * fact;
+  }
+  return total;
+}
+
+TEST(ClosedForms, CompleteDigraphFormulaSpotChecks) {
+  EXPECT_EQ(complete_digraph_cycles(2), 1u);
+  EXPECT_EQ(complete_digraph_cycles(3), 5u);    // 3 two-cycles + 2 triangles
+  EXPECT_EQ(complete_digraph_cycles(4), 20u);
+}
+
+class CompleteGraphTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompleteGraphTest, AllAlgorithmsMatchFormula) {
+  const unsigned n = GetParam();
+  const Digraph g = complete_digraph(n);
+  const std::uint64_t expected = complete_digraph_cycles(n);
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, expected);
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, expected);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCompleteGraphs, CompleteGraphTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(SerialAlgorithms, DirectedRingHasOneCycle) {
+  const Digraph g = directed_ring(25);
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, 1u);
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 1u);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 1u);
+}
+
+TEST(SerialAlgorithms, DagHasNoCycles) {
+  const Digraph g = random_dag(40, 0.3, 3);
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, 0u);
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 0u);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 0u);
+}
+
+TEST(SerialAlgorithms, EmptyAndTrivialGraphs) {
+  EXPECT_EQ(johnson_simple_cycles(Digraph()).num_cycles, 0u);
+  EXPECT_EQ(read_tarjan_simple_cycles(Digraph()).num_cycles, 0u);
+  const Digraph isolated(3, {});
+  EXPECT_EQ(johnson_simple_cycles(isolated).num_cycles, 0u);
+  EXPECT_EQ(read_tarjan_simple_cycles(isolated).num_cycles, 0u);
+}
+
+TEST(SerialAlgorithms, SelfLoopIsALengthOneCycle) {
+  const Digraph g(3, {{0, 0}, {0, 1}, {1, 2}, {2, 1}});
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, 2u);  // loop + 1<->2
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 2u);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 2u);
+}
+
+// --- The paper's example graphs --------------------------------------------
+
+TEST(PaperGraphs, Figure4aCycleCount) {
+  // 2^(n-2) simple cycles, all through the edge v0 -> v1 (Theorem 4.2's
+  // witness for the coarse-grained scalability failure).
+  for (VertexId n = 3; n <= 12; ++n) {
+    const Digraph g = figure4a_graph(n);
+    const std::uint64_t expected = std::uint64_t{1} << (n - 2);
+    EXPECT_EQ(johnson_simple_cycles(g).num_cycles, expected) << "n=" << n;
+    EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, expected) << "n=" << n;
+  }
+}
+
+TEST(PaperGraphs, JohnsonAdversarialHasTwoCycles) {
+  const Digraph g = johnson_adversarial_graph(6, 10);
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, 2u);
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 2u);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 2u);
+}
+
+TEST(PaperGraphs, JohnsonPrunesDeadEndChainTiernanDoesNot) {
+  // Figure 3a's story: Tiernan re-walks the dead-end chain once per chain
+  // vertex (2m times); Johnson blocks it after one walk. The edge-visit gap
+  // must therefore grow linearly in m for Tiernan but stay flat for Johnson.
+  const VertexId k = 30;
+  const auto tiernan_small = tiernan_simple_cycles(johnson_adversarial_graph(4, k));
+  const auto tiernan_large = tiernan_simple_cycles(johnson_adversarial_graph(16, k));
+  const auto johnson_small = johnson_simple_cycles(johnson_adversarial_graph(4, k));
+  const auto johnson_large = johnson_simple_cycles(johnson_adversarial_graph(16, k));
+
+  const auto tiernan_growth = tiernan_large.work.edges_visited -
+                              tiernan_small.work.edges_visited;
+  const auto johnson_growth = johnson_large.work.edges_visited -
+                              johnson_small.work.edges_visited;
+  // Tiernan pays ~12 extra walks of the k-chain; Johnson pays none.
+  EXPECT_GT(tiernan_growth, 12u * k);
+  EXPECT_LT(johnson_growth, 4u * k);
+}
+
+TEST(PaperGraphs, Figure5aHasFourCyclesAndExponentialPaths) {
+  for (VertexId m = 2; m <= 8; ++m) {
+    const Digraph g = figure5a_graph(m);
+    EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 4u) << "m=" << m;
+    EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 4u) << "m=" << m;
+    // From v0 every maximal simple path runs through one of the four u_i and
+    // then picks one branch per diamond stage (the closing edge v2 -> v0 is
+    // not simple-path-extendable, so it opens no extra maximal path):
+    // s = 4 * 2^m while c stays 4 — the s >> c gap of Theorem 5.1.
+    const std::uint64_t s = count_maximal_simple_paths_from(g, 0);
+    EXPECT_EQ(s, 4u * (std::uint64_t{1} << m)) << "m=" << m;
+  }
+}
+
+TEST(PaperGraphs, Figure6aCycles) {
+  const Digraph g = figure6a_graph();
+  // The two v0-rooted cycles the figure draws (w-chain and u-chain) plus the
+  // local w1 -> b3 -> b4 -> w1 loop; b3/b4 are dead ends only relative to
+  // searches that already hold w1 on the path, which is the copy-on-steal
+  // story the figure illustrates.
+  EXPECT_EQ(tiernan_simple_cycles(g).num_cycles, 3u);
+  EXPECT_EQ(johnson_simple_cycles(g).num_cycles, 3u);
+  EXPECT_EQ(read_tarjan_simple_cycles(g).num_cycles, 3u);
+}
+
+// --- Randomised equivalence ---------------------------------------------------
+
+struct RandomCase {
+  VertexId n;
+  double edge_factor;
+  std::uint64_t seed;
+};
+
+class RandomEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<VertexId, double, int>> {};
+
+TEST_P(RandomEquivalenceTest, CountsAndCycleSetsAgree) {
+  const auto [n, factor, salt] = GetParam();
+  SplitMix64 seeds(0xabcdef12u + static_cast<std::uint64_t>(salt));
+  const auto m = static_cast<std::size_t>(factor * n);
+  const Digraph g = erdos_renyi(n, m, seeds.next());
+
+  CollectingSink tiernan_sink;
+  CollectingSink johnson_sink;
+  CollectingSink rt_sink;
+  const auto tiernan = tiernan_simple_cycles(g, {}, &tiernan_sink);
+  const auto johnson = johnson_simple_cycles(g, {}, &johnson_sink);
+  const auto rt = read_tarjan_simple_cycles(g, {}, &rt_sink);
+
+  EXPECT_EQ(johnson.num_cycles, tiernan.num_cycles);
+  EXPECT_EQ(rt.num_cycles, tiernan.num_cycles);
+  EXPECT_EQ(johnson_sink.sorted_cycles(), tiernan_sink.sorted_cycles());
+  EXPECT_EQ(rt_sink.sorted_cycles(), tiernan_sink.sorted_cycles());
+  // Sanity: sinks saw exactly as many cycles as were counted.
+  EXPECT_EQ(tiernan_sink.size(), tiernan.num_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphSweep, RandomEquivalenceTest,
+    ::testing::Combine(::testing::Values(VertexId{6}, VertexId{8}, VertexId{10}),
+                       ::testing::Values(1.0, 1.8, 2.5),
+                       ::testing::Values(0, 1, 2, 3)));
+
+// --- Cycle-length constraints ---------------------------------------------------
+
+class LengthConstraintTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LengthConstraintTest, BoundedCountsMatchBruteForce) {
+  const int max_len = GetParam();
+  SplitMix64 seeds(0x1234u + static_cast<std::uint64_t>(max_len));
+  for (int trial = 0; trial < 6; ++trial) {
+    const Digraph g = erdos_renyi(9, 22, seeds.next());
+    EnumOptions options;
+    options.max_cycle_length = max_len;
+    const auto brute = tiernan_simple_cycles(g, options);
+    const auto johnson = johnson_simple_cycles(g, options);
+    const auto rt = read_tarjan_simple_cycles(g, options);
+    EXPECT_EQ(johnson.num_cycles, brute.num_cycles)
+        << "max_len=" << max_len << " trial=" << trial;
+    EXPECT_EQ(rt.num_cycles, brute.num_cycles)
+        << "max_len=" << max_len << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LengthConstraintTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7));
+
+TEST(LengthConstraint, BoundedSubsetsOfUnbounded) {
+  const Digraph g = complete_digraph(6);
+  std::uint64_t previous = 0;
+  for (int len = 2; len <= 6; ++len) {
+    EnumOptions options;
+    options.max_cycle_length = len;
+    const auto bounded = johnson_simple_cycles(g, options).num_cycles;
+    EXPECT_GE(bounded, previous);
+    previous = bounded;
+  }
+  EXPECT_EQ(previous, johnson_simple_cycles(g).num_cycles);
+}
+
+// --- Work comparisons (Section 8's metric) --------------------------------------
+
+TEST(WorkMetrics, ReadTarjanVisitsMoreEdgesThanJohnson) {
+  // RT revisits blocked regions once per path extension (Figure 3b's dotted
+  // path); Johnson visits them once. Averaged over random graphs RT >= J.
+  SplitMix64 seeds(777);
+  std::uint64_t johnson_edges = 0;
+  std::uint64_t rt_edges = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Digraph g = erdos_renyi(12, 36, seeds.next());
+    johnson_edges += johnson_simple_cycles(g).work.edges_visited;
+    rt_edges += read_tarjan_simple_cycles(g).work.edges_visited;
+  }
+  EXPECT_GE(rt_edges, johnson_edges);
+}
+
+}  // namespace
+}  // namespace parcycle

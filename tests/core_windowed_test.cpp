@@ -1,0 +1,242 @@
+// Windowed simple-cycle enumeration on temporal graphs: equivalence of the
+// three serial algorithms, window semantics, multi-edge (edge-identified)
+// cycle semantics, and the canonical minimum-edge start property.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/johnson.hpp"
+#include "core/read_tarjan.hpp"
+#include "core/tiernan.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+void expect_all_equal(const TemporalGraph& g, Timestamp window,
+                      const EnumOptions& options = {}) {
+  CollectingSink tiernan_sink;
+  CollectingSink johnson_sink;
+  CollectingSink rt_sink;
+  const auto brute = tiernan_windowed_cycles(g, window, options, &tiernan_sink);
+  const auto johnson = johnson_windowed_cycles(g, window, options, &johnson_sink);
+  const auto rt = read_tarjan_windowed_cycles(g, window, options, &rt_sink);
+  EXPECT_EQ(johnson.num_cycles, brute.num_cycles);
+  EXPECT_EQ(rt.num_cycles, brute.num_cycles);
+  EXPECT_EQ(johnson_sink.sorted_cycles(), tiernan_sink.sorted_cycles());
+  EXPECT_EQ(rt_sink.sorted_cycles(), tiernan_sink.sorted_cycles());
+}
+
+TEST(Windowed, TriangleInsideWindow) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 2, 20);
+  builder.add_edge(2, 0, 30);
+  const TemporalGraph g = builder.build_temporal();
+  EXPECT_EQ(johnson_windowed_cycles(g, 20).num_cycles, 1u);
+  EXPECT_EQ(johnson_windowed_cycles(g, 19).num_cycles, 0u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 20).num_cycles, 1u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 19).num_cycles, 0u);
+  EXPECT_EQ(tiernan_windowed_cycles(g, 20).num_cycles, 1u);
+}
+
+TEST(Windowed, Figure2Semantics) {
+  // The paper's Figure 2: one simple cycle in window [2:7], two in [10:15].
+  // We model it with a graph whose cycles live at those time ranges.
+  GraphBuilder builder(4);
+  // Cycle A: timestamps 2..7.
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(1, 2, 5);
+  builder.add_edge(2, 0, 7);
+  // Cycles B and C: timestamps 10..15.
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 0, 12);
+  builder.add_edge(1, 3, 13);
+  builder.add_edge(3, 0, 15);
+  const TemporalGraph g = builder.build_temporal();
+  // Window size 5, *simple* (not temporal) cycle semantics: cycle A from its
+  // minimum edge (ts=2); B and C from theirs (ts=10); plus the time-unordered
+  // realisation {0->1@10, 1->2@5, 2->0@7} whose spread is exactly 5. Simple
+  // windowed cycles ignore edge order — only the timestamp spread matters.
+  EXPECT_EQ(johnson_windowed_cycles(g, 5).num_cycles, 4u);
+  // Window size 2: only the 2-cycle {0->1@10, 1->0@12} fits.
+  EXPECT_EQ(johnson_windowed_cycles(g, 2).num_cycles, 1u);
+}
+
+TEST(Windowed, ZeroWindowRequiresEqualTimestamps) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 5);
+  builder.add_edge(1, 0, 5);
+  builder.add_edge(1, 2, 5);
+  builder.add_edge(2, 0, 9);
+  const TemporalGraph g = builder.build_temporal();
+  // Only 0->1->0 fits in a zero-width window.
+  EXPECT_EQ(johnson_windowed_cycles(g, 0).num_cycles, 1u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 0).num_cycles, 1u);
+  EXPECT_EQ(tiernan_windowed_cycles(g, 0).num_cycles, 1u);
+}
+
+TEST(Windowed, ParallelEdgesYieldDistinctCycles) {
+  // Cycles are edge-identified: two parallel 1->0 edges inside the window
+  // give two distinct 2-cycles.
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 0, 11);
+  builder.add_edge(1, 0, 12);
+  const TemporalGraph g = builder.build_temporal();
+  EXPECT_EQ(tiernan_windowed_cycles(g, 10).num_cycles, 2u);
+  EXPECT_EQ(johnson_windowed_cycles(g, 10).num_cycles, 2u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 10).num_cycles, 2u);
+}
+
+TEST(Windowed, DuplicateWindowsDoNotDuplicateCycles) {
+  // A 2-cycle whose both edges could serve as window anchors must be counted
+  // once (from the minimum edge only).
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 0, 10);  // same timestamp: id breaks the tie
+  const TemporalGraph g = builder.build_temporal();
+  EXPECT_EQ(johnson_windowed_cycles(g, 100).num_cycles, 1u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 100).num_cycles, 1u);
+  EXPECT_EQ(tiernan_windowed_cycles(g, 100).num_cycles, 1u);
+}
+
+TEST(Windowed, SelfLoopsCountOncePerEdge) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 0, 5);
+  builder.add_edge(0, 0, 9);
+  builder.add_edge(0, 1, 7);
+  const TemporalGraph g = builder.build_temporal();
+  EXPECT_EQ(johnson_windowed_cycles(g, 1).num_cycles, 2u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 1).num_cycles, 2u);
+  EXPECT_EQ(tiernan_windowed_cycles(g, 1).num_cycles, 2u);
+}
+
+// Property: every reported cycle is vertex-simple, its edges all lie in the
+// window anchored at its first (minimum) edge, and hops are consistent.
+class PropertySink final : public CycleSink {
+ public:
+  explicit PropertySink(const TemporalGraph& g, Timestamp window)
+      : graph_(g), window_(window) {}
+
+  void on_cycle(std::span<const VertexId> vertices,
+                std::span<const EdgeId> edges) override {
+    ASSERT_FALSE(vertices.empty());
+    ASSERT_EQ(edges.size(), vertices.size());
+    std::set<VertexId> unique(vertices.begin(), vertices.end());
+    EXPECT_EQ(unique.size(), vertices.size()) << "cycle repeats a vertex";
+
+    Timestamp min_ts = graph_.edge(edges[0]).ts;
+    EdgeId min_id = edges[0];
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto& e = graph_.edge(edges[i]);
+      EXPECT_EQ(e.src, vertices[i]);
+      EXPECT_EQ(e.dst, vertices[(i + 1) % vertices.size()]);
+      EXPECT_LE(e.ts, min_ts + window_) << "edge outside anchor window";
+      EXPECT_GE(e.ts, min_ts);
+      if (i > 0) {
+        EXPECT_GT(e.id, min_id) << "anchor edge is not the minimum";
+      }
+    }
+    count_ += 1;
+  }
+
+  std::size_t count() const { return count_; }
+
+ private:
+  const TemporalGraph& graph_;
+  Timestamp window_;
+  std::size_t count_ = 0;
+};
+
+class WindowedRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WindowedRandomTest, AlgorithmsAgreeAndCyclesAreValid) {
+  const auto [salt, window_divisor] = GetParam();
+  SplitMix64 seeds(0x5eed0000u + static_cast<std::uint64_t>(salt));
+  const TemporalGraph g = uniform_temporal(12, 60, 1000, seeds.next());
+  const Timestamp window = 1000 / window_divisor;
+
+  expect_all_equal(g, window);
+
+  PropertySink props(g, window);
+  const auto result = johnson_windowed_cycles(g, window, {}, &props);
+  EXPECT_EQ(props.count(), result.num_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTemporalSweep, WindowedRandomTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 5, 10)));
+
+TEST(Windowed, CycleUnionPruningDoesNotChangeResults) {
+  SplitMix64 seeds(0xfeed);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TemporalGraph g = uniform_temporal(15, 80, 500, seeds.next());
+    EnumOptions with_union;
+    with_union.use_cycle_union = true;
+    EnumOptions without_union;
+    without_union.use_cycle_union = false;
+    const auto a = johnson_windowed_cycles(g, 100, with_union);
+    const auto b = johnson_windowed_cycles(g, 100, without_union);
+    EXPECT_EQ(a.num_cycles, b.num_cycles);
+    // Pruning must not increase search work.
+    EXPECT_LE(a.work.edges_visited, b.work.edges_visited);
+    const auto c = read_tarjan_windowed_cycles(g, 100, with_union);
+    const auto d = read_tarjan_windowed_cycles(g, 100, without_union);
+    EXPECT_EQ(c.num_cycles, d.num_cycles);
+    EXPECT_EQ(c.num_cycles, a.num_cycles);
+  }
+}
+
+TEST(Windowed, LengthConstrainedMatchesBruteForce) {
+  SplitMix64 seeds(0xc0ffee);
+  for (int max_len : {1, 2, 3, 5}) {
+    EnumOptions options;
+    options.max_cycle_length = max_len;
+    for (int trial = 0; trial < 4; ++trial) {
+      const TemporalGraph g = uniform_temporal(10, 50, 300, seeds.next());
+      const auto brute = tiernan_windowed_cycles(g, 150, options);
+      const auto johnson = johnson_windowed_cycles(g, 150, options);
+      const auto rt = read_tarjan_windowed_cycles(g, 150, options);
+      EXPECT_EQ(johnson.num_cycles, brute.num_cycles)
+          << "len=" << max_len << " trial=" << trial;
+      EXPECT_EQ(rt.num_cycles, brute.num_cycles)
+          << "len=" << max_len << " trial=" << trial;
+    }
+  }
+}
+
+TEST(Windowed, ScaleFreeGraphAgreement) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 40;
+  params.num_edges = 250;
+  params.time_span = 1000;
+  params.seed = 99;
+  const TemporalGraph g = scale_free_temporal(params);
+  expect_all_equal(g, 150);
+}
+
+TEST(Windowed, WholeSpanWindowSeesEverything) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 1);
+  builder.add_edge(1, 2, 100);
+  builder.add_edge(2, 3, 200);
+  builder.add_edge(3, 0, 300);
+  builder.add_edge(2, 0, 150);
+  const TemporalGraph g = builder.build_temporal();
+  // Two cycles when the window covers the whole span.
+  EXPECT_EQ(johnson_windowed_cycles(g, 299).num_cycles, 2u);
+  EXPECT_EQ(read_tarjan_windowed_cycles(g, 299).num_cycles, 2u);
+  // Shrinking the window kills the long cycle (spread 299) but keeps the
+  // short one (spread exactly 149)...
+  EXPECT_EQ(johnson_windowed_cycles(g, 149).num_cycles, 1u);
+  // ...until the window shrinks below its spread too.
+  EXPECT_EQ(johnson_windowed_cycles(g, 148).num_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace parcycle

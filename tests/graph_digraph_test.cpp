@@ -1,0 +1,108 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace parcycle {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, BasicAdjacency) {
+  Digraph g(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+
+  const auto n0 = g.out_neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+
+  const auto in2 = g.in_neighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+}
+
+TEST(Digraph, NeighborListsAreSorted) {
+  Digraph g(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}, {2, 1}, {2, 0}});
+  const auto n0 = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  const auto in1 = g.in_neighbors(1);
+  EXPECT_TRUE(std::is_sorted(in1.begin(), in1.end()));
+}
+
+TEST(Digraph, DedupCollapsesParallelEdges) {
+  Digraph g(3, {{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Digraph, NoDedupKeepsParallelEdges) {
+  Digraph g(3, {{0, 1}, {0, 1}}, /*dedup=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Digraph, HasEdge) {
+  Digraph g(4, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(3, 3));
+}
+
+TEST(Digraph, SelfLoopsKept) {
+  Digraph g(2, {{0, 0}, {0, 1}});
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+}
+
+TEST(Digraph, EdgeListRoundTrip) {
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  Digraph g(4, edges);
+  EXPECT_EQ(g.edge_list(), edges);  // already sorted
+}
+
+TEST(GraphBuilder, InfersVertexCount) {
+  GraphBuilder builder;
+  builder.add_edge(3, 7);
+  builder.add_edge(1, 2);
+  EXPECT_EQ(builder.num_vertices(), 8u);
+  const Digraph g = builder.build_digraph();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_TRUE(g.has_edge(3, 7));
+}
+
+TEST(GraphBuilder, DropSelfLoopsOption) {
+  GraphBuilder builder;
+  builder.set_drop_self_loops(true);
+  builder.add_edge(1, 1);
+  builder.add_edge(0, 1);
+  const Digraph g = builder.build_digraph();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1);
+  const Digraph g1 = builder.build_digraph();
+  builder.add_edge(1, 0);
+  const Digraph g2 = builder.build_digraph();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace parcycle

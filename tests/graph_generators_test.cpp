@@ -1,0 +1,158 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace parcycle {
+namespace {
+
+TEST(Generators, CompleteDigraph) {
+  const Digraph g = complete_digraph(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 30u);
+  for (VertexId u = 0; u < 6; ++u) {
+    EXPECT_EQ(g.out_degree(u), 5u);
+    EXPECT_FALSE(g.has_edge(u, u));
+  }
+}
+
+TEST(Generators, DirectedRing) {
+  const Digraph g = directed_ring(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (VertexId v = 0; v < 7; ++v) {
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 7));
+  }
+}
+
+TEST(Generators, RandomDagIsAcyclicByConstruction) {
+  const Digraph g = random_dag(30, 0.4, 7);
+  for (VertexId u = 0; u < 30; ++u) {
+    for (const VertexId v : g.out_neighbors(u)) {
+      EXPECT_LT(u, v);
+    }
+  }
+}
+
+TEST(Generators, Figure4aStructure) {
+  const VertexId n = 8;
+  const Digraph g = figure4a_graph(n);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.out_degree(0), 1u);  // only v0 -> v1: all cycles share it
+  for (VertexId i = 1; i < n; ++i) {
+    EXPECT_TRUE(g.has_edge(i, 0));
+    for (VertexId j = i + 1; j < n; ++j) {
+      EXPECT_TRUE(g.has_edge(i, j));
+    }
+  }
+}
+
+TEST(Generators, JohnsonAdversarialShape) {
+  const VertexId m = 4;
+  const VertexId k = 6;
+  const Digraph g = johnson_adversarial_graph(m, k);
+  EXPECT_EQ(g.num_vertices(), 3u + 2 * m + k);
+  // Both chains exist and feed the dead-end chain.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  const VertexId b0 = 3 + 2 * m;
+  for (VertexId i = 0; i < m; ++i) {
+    EXPECT_TRUE(g.has_edge(3 + i, b0));          // w chain into b
+    EXPECT_TRUE(g.has_edge(3 + m + i, b0));      // u chain into b
+  }
+  EXPECT_EQ(g.out_degree(b0 + k - 1), 0u);  // dead end
+}
+
+TEST(Generators, ErdosRenyiHasRequestedEdges) {
+  const Digraph g = erdos_renyi(50, 200, 11);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+  for (VertexId u = 0; u < 50; ++u) {
+    EXPECT_FALSE(g.has_edge(u, u));
+  }
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const Digraph a = erdos_renyi(30, 100, 5);
+  const Digraph b = erdos_renyi(30, 100, 5);
+  const Digraph c = erdos_renyi(30, 100, 6);
+  EXPECT_EQ(a.edge_list(), b.edge_list());
+  EXPECT_NE(a.edge_list(), c.edge_list());
+}
+
+TEST(Generators, ScaleFreeTemporalBasicProperties) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 500;
+  params.num_edges = 5000;
+  params.time_span = 100000;
+  params.seed = 3;
+  const TemporalGraph g = scale_free_temporal(params);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  EXPECT_GE(g.min_timestamp(), 0);
+  EXPECT_LT(g.max_timestamp(), 100000);
+  for (const auto& e : g.edges_by_time()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(Generators, ScaleFreeTemporalIsSkewed) {
+  // Preferential attachment must concentrate degree: the busiest vertex
+  // should hold far more than the average share of edges.
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 1000;
+  params.num_edges = 20000;
+  params.attachment = 0.9;
+  params.seed = 17;
+  const TemporalGraph g = scale_free_temporal(params);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.out_edges(v).size());
+  }
+  const double average = 20000.0 / 1000.0;
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * average);
+}
+
+TEST(Generators, ScaleFreeTemporalDeterministicPerSeed) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 100;
+  params.num_edges = 1000;
+  params.seed = 8;
+  const TemporalGraph a = scale_free_temporal(params);
+  const TemporalGraph b = scale_free_temporal(params);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  const auto ea = a.edges_by_time();
+  const auto eb = b.edges_by_time();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].src, eb[i].src);
+    EXPECT_EQ(ea[i].dst, eb[i].dst);
+    EXPECT_EQ(ea[i].ts, eb[i].ts);
+  }
+}
+
+TEST(Generators, UniformTemporalBounds) {
+  const TemporalGraph g = uniform_temporal(100, 1000, 5000, 21);
+  EXPECT_EQ(g.num_edges(), 1000u);
+  EXPECT_GE(g.min_timestamp(), 0);
+  EXPECT_LT(g.max_timestamp(), 5000);
+}
+
+TEST(Generators, WithUniformTimestampsPreservesStructure) {
+  const Digraph base = directed_ring(10);
+  const TemporalGraph g = with_uniform_timestamps(base, 1000, 4);
+  EXPECT_EQ(g.num_edges(), 10u);
+  const Digraph projected = g.static_projection();
+  EXPECT_EQ(projected.edge_list(), base.edge_list());
+}
+
+TEST(Generators, Figure6aHasTwoCyclesWorth) {
+  const Digraph g = figure6a_graph();
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // The two cycles drawn in the figure.
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_TRUE(g.has_edge(9, 0));
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,138 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "support/dynamic_bitset.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+// Reference oracle: u and v are in the same SCC iff both reach each other.
+// O(n * (n + e)) BFS-based, only for small test graphs.
+std::vector<DynamicBitset> reachability_matrix(const Digraph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<DynamicBitset> reach(n, DynamicBitset(n));
+  for (VertexId s = 0; s < n; ++s) {
+    std::vector<VertexId> queue = {s};
+    reach[s].set(s);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      for (const VertexId w : g.out_neighbors(queue[qi])) {
+        if (!reach[s].test(w)) {
+          reach[s].set(w);
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+void expect_matches_oracle(const Digraph& g) {
+  const SccResult scc = strongly_connected_components(g);
+  const auto reach = reachability_matrix(g);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const bool same = reach[u].test(v) && reach[v].test(u);
+      EXPECT_EQ(scc.same_component(u, v), same)
+          << "vertices " << u << ", " << v;
+    }
+  }
+}
+
+TEST(Scc, SingleRing) {
+  const SccResult scc = strongly_connected_components(directed_ring(5));
+  EXPECT_EQ(scc.num_components, 1u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(scc.component[v], 0u);
+  }
+}
+
+TEST(Scc, DagHasSingletonComponents) {
+  const Digraph g = random_dag(20, 0.3, 99);
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 20u);
+}
+
+TEST(Scc, TwoRingsJoinedByBridge) {
+  // Ring A: 0-1-2, Ring B: 3-4-5, bridge 2 -> 3.
+  Digraph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_TRUE(scc.same_component(0, 2));
+  EXPECT_TRUE(scc.same_component(3, 5));
+  EXPECT_FALSE(scc.same_component(0, 3));
+  // Tarjan's numbering is reverse topological: the sink component (B) pops
+  // first and must get the smaller id.
+  EXPECT_LT(scc.component[3], scc.component[0]);
+}
+
+TEST(Scc, ComponentSizes) {
+  Digraph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  const SccResult scc = strongly_connected_components(g);
+  auto sizes = component_sizes(scc);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3}));
+}
+
+TEST(Scc, FilteredSubgraph) {
+  // Full graph is one SCC (a 4-ring); excluding vertex 0 breaks it apart.
+  Digraph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const SccResult scc = strongly_connected_components(
+      g, [](VertexId v) { return v != 0; });
+  EXPECT_EQ(scc.component[0], kInvalidVertex);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_FALSE(scc.same_component(1, 2));
+}
+
+TEST(Scc, FilteredByMinimumVertex) {
+  // The induced-subgraph pattern Johnson's algorithm uses.
+  const Digraph g = complete_digraph(5);
+  for (VertexId s = 0; s < 5; ++s) {
+    const SccResult scc = strongly_connected_components(
+        g, [s](VertexId v) { return v >= s; });
+    EXPECT_EQ(scc.num_components, 1u) << "start " << s;
+    for (VertexId v = s; v < 5; ++v) {
+      EXPECT_TRUE(scc.same_component(s, v));
+    }
+    for (VertexId v = 0; v < s; ++v) {
+      EXPECT_EQ(scc.component[v], kInvalidVertex);
+    }
+  }
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  Digraph g(3, {{0, 0}, {0, 1}, {1, 2}});
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3u);
+}
+
+TEST(Scc, MatchesOracleOnRandomGraphs) {
+  SplitMix64 seeds(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId n = 15 + static_cast<VertexId>(trial);
+    const auto m = static_cast<std::size_t>(2.0 * n);
+    const Digraph g = erdos_renyi(n, m, seeds.next());
+    expect_matches_oracle(g);
+  }
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack) {
+  // 200k-vertex path exercises the iterative implementation.
+  const VertexId n = 200000;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+  }
+  edges.emplace_back(n - 1, 0);  // close into one giant ring
+  const Digraph g(n, std::move(edges));
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 1u);
+}
+
+}  // namespace
+}  // namespace parcycle

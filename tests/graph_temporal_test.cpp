@@ -1,0 +1,118 @@
+#include "graph/temporal_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace parcycle {
+namespace {
+
+TemporalGraph make_sample() {
+  // Mirrors the paper's Figure 2 style: edges with assorted timestamps,
+  // including parallel edges.
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 2, 12);
+  builder.add_edge(2, 0, 15);
+  builder.add_edge(1, 2, 14);  // parallel edge, later timestamp
+  builder.add_edge(2, 3, 5);
+  builder.add_edge(3, 4, 7);
+  builder.add_edge(4, 2, 2);
+  return builder.build_temporal();
+}
+
+TEST(TemporalGraph, IdsFollowTimeOrder) {
+  const TemporalGraph g = make_sample();
+  ASSERT_EQ(g.num_edges(), 7u);
+  const auto edges = g.edges_by_time();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(edges[i - 1].ts, edges[i].ts);
+    }
+  }
+  EXPECT_EQ(g.min_timestamp(), 2);
+  EXPECT_EQ(g.max_timestamp(), 15);
+  EXPECT_EQ(g.time_span(), 13);
+}
+
+TEST(TemporalGraph, OutEdgesSortedByTimestamp) {
+  const TemporalGraph g = make_sample();
+  const auto out1 = g.out_edges(1);
+  ASSERT_EQ(out1.size(), 2u);
+  EXPECT_EQ(out1[0].ts, 12);
+  EXPECT_EQ(out1[1].ts, 14);
+  EXPECT_EQ(out1[0].dst, 2u);
+  EXPECT_EQ(out1[1].dst, 2u);
+}
+
+TEST(TemporalGraph, InEdgesSortedByTimestamp) {
+  const TemporalGraph g = make_sample();
+  const auto in2 = g.in_edges(2);
+  ASSERT_EQ(in2.size(), 3u);
+  EXPECT_EQ(in2[0].ts, 2);
+  EXPECT_EQ(in2[1].ts, 12);
+  EXPECT_EQ(in2[2].ts, 14);
+}
+
+TEST(TemporalGraph, WindowQueriesAreInclusive) {
+  const TemporalGraph g = make_sample();
+  const auto window = g.out_edges_in_window(1, 12, 14);
+  ASSERT_EQ(window.size(), 2u);
+
+  const auto only_first = g.out_edges_in_window(1, 12, 13);
+  ASSERT_EQ(only_first.size(), 1u);
+  EXPECT_EQ(only_first[0].ts, 12);
+
+  const auto none = g.out_edges_in_window(1, 15, 20);
+  EXPECT_TRUE(none.empty());
+
+  const auto in_window = g.in_edges_in_window(2, 3, 13);
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0].ts, 12);
+}
+
+TEST(TemporalGraph, EdgeLookupById) {
+  const TemporalGraph g = make_sample();
+  const auto& first = g.edge(0);
+  EXPECT_EQ(first.ts, 2);
+  EXPECT_EQ(first.src, 4u);
+  EXPECT_EQ(first.dst, 2u);
+}
+
+TEST(TemporalGraph, StaticProjectionDedups) {
+  const TemporalGraph g = make_sample();
+  const Digraph s = g.static_projection();
+  EXPECT_EQ(s.num_vertices(), 5u);
+  EXPECT_EQ(s.num_edges(), 6u);  // the two 1->2 edges collapse
+  EXPECT_TRUE(s.has_edge(1, 2));
+  EXPECT_TRUE(s.has_edge(4, 2));
+}
+
+TEST(TemporalGraph, EmptyGraph) {
+  TemporalGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.time_span(), 0);
+}
+
+TEST(TemporalGraph, TiedTimestampsGetDistinctIds) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 5);
+  builder.add_edge(1, 2, 5);
+  builder.add_edge(2, 0, 5);
+  const TemporalGraph g = builder.build_temporal();
+  const auto edges = g.edges_by_time();
+  EXPECT_EQ(edges[0].id, 0u);
+  EXPECT_EQ(edges[1].id, 1u);
+  EXPECT_EQ(edges[2].id, 2u);
+  // Ties broken by (src, dst).
+  EXPECT_EQ(edges[0].src, 0u);
+  EXPECT_EQ(edges[1].src, 1u);
+  EXPECT_EQ(edges[2].src, 2u);
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,141 @@
+// Unit tests for the Read-Tarjan states (budget-keyed core variant and
+// arrival-keyed temporal variant): undo-log semantics and the lock-free
+// prefix copy-on-steal contract.
+#include <gtest/gtest.h>
+
+#include "core/rt_state.hpp"
+#include "temporal/temporal_rt_state.hpp"
+
+namespace parcycle {
+namespace {
+
+TEST(ReadTarjanState, LoggedSetAndTruncateRestores) {
+  ReadTarjanState st(8);
+  EXPECT_EQ(st.fail_rem(3), ReadTarjanState::kUnblocked);
+  st.logged_set(3, 10);
+  EXPECT_EQ(st.fail_rem(3), 10);
+  const std::size_t mark = st.log_length();
+  st.logged_set(3, 20);
+  st.logged_set(4, 5);
+  EXPECT_EQ(st.fail_rem(3), 20);
+  st.truncate_log(mark);
+  EXPECT_EQ(st.fail_rem(3), 10);  // restored to the pre-mark value
+  EXPECT_EQ(st.fail_rem(4), ReadTarjanState::kUnblocked);
+}
+
+TEST(ReadTarjanState, CanVisitSemantics) {
+  ReadTarjanState st(8);
+  EXPECT_TRUE(st.can_visit(2, 1));
+  st.logged_set(2, 7);
+  EXPECT_FALSE(st.can_visit(2, 7));  // equal budget blocked
+  EXPECT_FALSE(st.can_visit(2, 3));
+  EXPECT_TRUE(st.can_visit(2, 8));
+  st.push(5, kInvalidEdge);
+  EXPECT_FALSE(st.can_visit(5, 1000));  // on-path always blocked
+}
+
+TEST(ReadTarjanState, PathTruncation) {
+  ReadTarjanState st(8);
+  st.push(1, kInvalidEdge);
+  st.push(2, 10);
+  st.push(3, 11);
+  st.truncate_path(1);
+  EXPECT_EQ(st.path_length(), 1u);
+  EXPECT_TRUE(st.on_path(1));
+  EXPECT_FALSE(st.on_path(2));
+  EXPECT_FALSE(st.on_path(3));
+}
+
+TEST(ReadTarjanState, CopyPrefixReplaysLog) {
+  ReadTarjanState victim(8);
+  victim.push(0, kInvalidEdge);
+  victim.push(1, 5);
+  victim.logged_set(6, 9);       // within the prefix
+  const std::size_t log_prefix = victim.log_length();
+  const std::size_t path_prefix = victim.path_length();
+  victim.push(2, 6);             // beyond the prefix
+  victim.logged_set(7, 3);       // beyond the prefix
+
+  ReadTarjanState thief(8);
+  thief.copy_prefix_from(victim, path_prefix, log_prefix);
+  EXPECT_EQ(thief.path_length(), 2u);
+  EXPECT_TRUE(thief.on_path(1));
+  EXPECT_FALSE(thief.on_path(2));
+  EXPECT_EQ(thief.fail_rem(6), 9);
+  EXPECT_EQ(thief.fail_rem(7), ReadTarjanState::kUnblocked);
+  // The thief's copied log is itself rewindable.
+  thief.truncate_log(0);
+  EXPECT_EQ(thief.fail_rem(6), ReadTarjanState::kUnblocked);
+}
+
+TEST(ReadTarjanState, FloorGuard) {
+  ReadTarjanState st(8);
+  EXPECT_EQ(st.floor(), 0u);
+  st.set_floor(3);
+  EXPECT_EQ(st.floor(), 3u);
+  st.set_floor(1);
+  EXPECT_EQ(st.floor(), 1u);
+}
+
+TEST(ReadTarjanState, LogGrowsPastInitialCapacity) {
+  ReadTarjanState st(4);
+  for (int i = 0; i < 5000; ++i) {
+    st.logged_set(static_cast<VertexId>(i % 4), i);
+  }
+  EXPECT_EQ(st.log_length(), 5000u);
+  st.truncate_log(0);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(st.fail_rem(v), ReadTarjanState::kUnblocked);
+  }
+}
+
+TEST(TemporalRTState, ArrivalKeyedBlocking) {
+  TemporalRTState st(8);
+  EXPECT_TRUE(st.can_visit(2, 100));
+  st.logged_set(2, 50);  // arrivals >= 50 fail
+  EXPECT_FALSE(st.can_visit(2, 50));
+  EXPECT_FALSE(st.can_visit(2, 99));
+  EXPECT_TRUE(st.can_visit(2, 49));
+}
+
+TEST(TemporalRTState, PathCarriesArrivals) {
+  TemporalRTState st(8);
+  st.push(0, kInvalidEdge, 10);
+  st.push(1, 3, 20);
+  EXPECT_EQ(st.frontier(), 1u);
+  EXPECT_EQ(st.frontier_arrival(), 20);
+  EXPECT_EQ(st.path_arrival(0), 10);
+  st.truncate_path(1);
+  EXPECT_EQ(st.frontier_arrival(), 10);
+}
+
+TEST(TemporalRTState, CopyPrefixFromVictim) {
+  TemporalRTState victim(8);
+  victim.push(0, kInvalidEdge, 1);
+  victim.push(1, 2, 5);
+  victim.logged_set(4, 7);
+  const std::size_t pp = victim.path_length();
+  const std::size_t lp = victim.log_length();
+  victim.push(2, 3, 9);
+  victim.logged_set(5, 11);
+
+  TemporalRTState thief(8);
+  thief.copy_prefix_from(victim, pp, lp);
+  EXPECT_EQ(thief.path_length(), 2u);
+  EXPECT_EQ(thief.frontier_arrival(), 5);
+  EXPECT_FALSE(thief.can_visit(4, 8));
+  EXPECT_TRUE(thief.can_visit(5, 10));  // beyond-prefix mark not copied
+}
+
+TEST(TemporalRTState, ResetClears) {
+  TemporalRTState st(8);
+  st.push(0, kInvalidEdge, 1);
+  st.logged_set(3, 9);
+  st.reset();
+  EXPECT_EQ(st.path_length(), 0u);
+  EXPECT_EQ(st.log_length(), 0u);
+  EXPECT_TRUE(st.can_visit(3, 1000000));
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,77 @@
+#include "schedsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace parcycle {
+namespace {
+
+TEST(SchedSim, SingleCoreMakespanIsTotalWork) {
+  const std::vector<SimJob> jobs = {{10, 0}, {20, 0}, {30, 0}};
+  const SimResult result = simulate_coarse(jobs, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 60.0);
+  EXPECT_DOUBLE_EQ(result.total_work(), 60.0);
+  EXPECT_DOUBLE_EQ(result.speedup_vs_serial(), 1.0);
+}
+
+TEST(SchedSim, CoarseDominatedByGiantJob) {
+  // One job holds 90% of the work: coarse speedup caps near 1/0.9.
+  std::vector<SimJob> jobs(91, SimJob{1, 0});
+  jobs[0] = SimJob{900, 0};
+  const SimResult result = simulate_coarse(jobs, 64);
+  EXPECT_DOUBLE_EQ(result.makespan, 900.0);
+  EXPECT_NEAR(result.speedup_vs_serial(), 990.0 / 900.0, 1e-9);
+  EXPECT_GT(result.imbalance(), 10.0);
+}
+
+TEST(SchedSim, FineChopsGiantJob) {
+  std::vector<SimJob> jobs(91, SimJob{1, 0});
+  jobs[0] = SimJob{900, 0};
+  const SimResult result = simulate_fine(jobs, 64, /*granularity=*/1.0);
+  // 990 units over 64 cores: near-perfect balance.
+  EXPECT_LT(result.makespan, 990.0 / 64.0 + 2.0);
+  EXPECT_GT(result.speedup_vs_serial(), 50.0);
+  EXPECT_LT(result.imbalance(), 1.2);
+}
+
+TEST(SchedSim, CriticalPathBoundsFine) {
+  const std::vector<SimJob> jobs = {{100, 50}};
+  const SimResult result = simulate_fine(jobs, 64, 1.0);
+  EXPECT_GE(result.makespan, 50.0);
+}
+
+TEST(SchedSim, ZeroCostJobsIgnored) {
+  const std::vector<SimJob> jobs = {{0, 0}, {5, 0}, {0, 0}};
+  const SimResult coarse = simulate_coarse(jobs, 4);
+  EXPECT_EQ(coarse.num_tasks, 1u);
+  EXPECT_DOUBLE_EQ(coarse.makespan, 5.0);
+}
+
+TEST(SchedSim, MoreCoresNeverSlower) {
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(SimJob{static_cast<double>(1 + i % 17), 0});
+  }
+  double previous = 1e300;
+  for (const unsigned cores : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const SimResult fine = simulate_fine(jobs, cores, 4.0);
+    EXPECT_LE(fine.makespan, previous + 1e-9) << cores;
+    previous = fine.makespan;
+  }
+}
+
+TEST(SchedSim, FineNeverWorseThanCoarse) {
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(SimJob{static_cast<double>((i * 37) % 100 + 1), 0});
+  }
+  for (const unsigned cores : {2u, 8u, 32u, 128u}) {
+    const SimResult fine = simulate_fine(jobs, cores, 1.0);
+    const SimResult coarse = simulate_coarse(jobs, cores);
+    EXPECT_LE(fine.makespan, coarse.makespan + 1e-9) << cores;
+  }
+}
+
+}  // namespace
+}  // namespace parcycle

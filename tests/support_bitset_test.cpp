@@ -1,0 +1,130 @@
+#include "support/dynamic_bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_FALSE(bits.any());
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bits.test(i));
+  }
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset bits(130);  // spans three words
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(65));
+  EXPECT_EQ(bits.count(), 4u);
+  bits.reset(63);
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(DynamicBitset, TestAndSetReportsPriorState) {
+  DynamicBitset bits(10);
+  EXPECT_TRUE(bits.test_and_set(3));
+  EXPECT_FALSE(bits.test_and_set(3));
+  EXPECT_TRUE(bits.test(3));
+}
+
+TEST(DynamicBitset, ClearZeroesEverything) {
+  DynamicBitset bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) {
+    bits.set(i);
+  }
+  bits.clear();
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(DynamicBitset, IntersectionAndUnion) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.set(1);
+  a.set(50);
+  a.set(99);
+  b.set(50);
+  b.set(99);
+  b.set(2);
+
+  DynamicBitset inter = a;
+  inter &= b;
+  EXPECT_FALSE(inter.test(1));
+  EXPECT_FALSE(inter.test(2));
+  EXPECT_TRUE(inter.test(50));
+  EXPECT_TRUE(inter.test(99));
+  EXPECT_EQ(inter.count(), 2u);
+
+  DynamicBitset uni = a;
+  uni |= b;
+  EXPECT_EQ(uni.count(), 4u);
+}
+
+TEST(DynamicBitset, ForEachSetVisitsAscending) {
+  DynamicBitset bits(300);
+  const std::set<std::size_t> expected = {0, 5, 63, 64, 65, 128, 299};
+  for (const auto i : expected) {
+    bits.set(i);
+  }
+  std::vector<std::size_t> seen;
+  bits.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, std::vector<std::size_t>(expected.begin(), expected.end()));
+}
+
+TEST(DynamicBitset, RandomisedAgainstStdSet) {
+  Xoshiro256 rng(7);
+  DynamicBitset bits(512);
+  std::set<std::size_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    const std::size_t pos = rng.bounded(512);
+    if (rng.uniform() < 0.5) {
+      bits.set(pos);
+      model.insert(pos);
+    } else {
+      bits.reset(pos);
+      model.erase(pos);
+    }
+  }
+  EXPECT_EQ(bits.count(), model.size());
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ(bits.test(i), model.count(i) > 0) << "bit " << i;
+  }
+}
+
+TEST(DynamicBitset, ResizeResets) {
+  DynamicBitset bits(10);
+  bits.set(5);
+  bits.resize(20);
+  EXPECT_EQ(bits.size(), 20u);
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(DynamicBitset, EqualityComparesContents) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  EXPECT_EQ(a, b);
+  a.set(13);
+  EXPECT_FALSE(a == b);
+  b.set(13);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,118 @@
+#include "support/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace parcycle {
+namespace {
+
+TEST(ChaseLevDeque, PopFromEmptyReturnsNothing) {
+  ChaseLevDeque<int> deque;
+  EXPECT_FALSE(deque.pop().has_value());
+  EXPECT_FALSE(deque.steal().has_value());
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(ChaseLevDeque, OwnerPopIsLifo) {
+  ChaseLevDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.pop().value(), 3);
+  EXPECT_EQ(deque.pop().value(), 2);
+  EXPECT_EQ(deque.pop().value(), 1);
+  EXPECT_FALSE(deque.pop().has_value());
+}
+
+TEST(ChaseLevDeque, StealIsFifo) {
+  ChaseLevDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.steal().value(), 1);
+  EXPECT_EQ(deque.steal().value(), 2);
+  EXPECT_EQ(deque.steal().value(), 3);
+  EXPECT_FALSE(deque.steal().has_value());
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> deque(2);
+  for (int i = 0; i < 1000; ++i) {
+    deque.push(i);
+  }
+  EXPECT_EQ(deque.size(), 1000);
+  for (int i = 999; i >= 0; --i) {
+    EXPECT_EQ(deque.pop().value(), i);
+  }
+}
+
+TEST(ChaseLevDeque, MixedOwnerAndThiefSequential) {
+  ChaseLevDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  deque.push(4);
+  EXPECT_EQ(deque.steal().value(), 1);   // oldest
+  EXPECT_EQ(deque.pop().value(), 4);     // newest
+  EXPECT_EQ(deque.steal().value(), 2);
+  EXPECT_EQ(deque.pop().value(), 3);
+  EXPECT_TRUE(deque.empty());
+}
+
+// Stress: one owner pushing/popping, several thieves stealing; every pushed
+// item must be consumed exactly once.
+TEST(ChaseLevDeque, ConcurrentStealStress) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> deque;
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || !deque.empty()) {
+        if (auto item = deque.steal()) {
+          consumed_sum.fetch_add(static_cast<std::uint64_t>(*item),
+                                 std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::uint64_t owner_sum = 0;
+  int owner_count = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    deque.push(i);
+    if (i % 3 == 0) {
+      if (auto item = deque.pop()) {
+        owner_sum += static_cast<std::uint64_t>(*item);
+        owner_count += 1;
+      }
+    }
+  }
+  // Drain the remainder as the owner too.
+  while (auto item = deque.pop()) {
+    owner_sum += static_cast<std::uint64_t>(*item);
+    owner_count += 1;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) {
+    thief.join();
+  }
+
+  const std::uint64_t expected_sum =
+      static_cast<std::uint64_t>(kItems) * (kItems + 1) / 2;
+  EXPECT_EQ(owner_sum + consumed_sum.load(), expected_sum);
+  EXPECT_EQ(owner_count + consumed_count.load(), kItems);
+}
+
+}  // namespace
+}  // namespace parcycle

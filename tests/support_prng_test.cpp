@@ -1,0 +1,88 @@
+#include "support/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace parcycle {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next() == b.next());
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(2024);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    histogram[rng.bounded(kBuckets)] += 1;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int count : histogram) {
+    // 5-sigma band for a binomial bucket.
+    EXPECT_NEAR(count, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -1,0 +1,173 @@
+#include "support/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace parcycle {
+namespace {
+
+TEST(Scheduler, SingleWorkerRunsTasks) {
+  Scheduler sched(1);
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 100; ++i) {
+    group.spawn([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Scheduler, MultiWorkerRunsAllTasks) {
+  Scheduler sched(4);
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 10000; ++i) {
+    group.spawn([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 10000);
+}
+
+TEST(Scheduler, NestedSpawnsComplete) {
+  Scheduler sched(4);
+  std::atomic<int> counter{0};
+  TaskGroup outer(sched);
+  for (int i = 0; i < 32; ++i) {
+    outer.spawn([&] {
+      TaskGroup inner;
+      for (int j = 0; j < 32; ++j) {
+        inner.spawn([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(counter.load(), 32 * 32);
+}
+
+// Recursive fork-join: computes Fibonacci via task recursion; exercises deep
+// nesting, stealing, and wait-executes-tasks behaviour.
+int fib_task(int n) {
+  if (n < 2) {
+    return n;
+  }
+  int left = 0;
+  int right = 0;
+  TaskGroup group;
+  group.spawn([&left, n] { left = fib_task(n - 1); });
+  group.spawn([&right, n] { right = fib_task(n - 2); });
+  group.wait();
+  return left + right;
+}
+
+TEST(Scheduler, RecursiveForkJoin) {
+  Scheduler sched(4);
+  TaskGroup group(sched);
+  int result = 0;
+  group.spawn([&result] { result = fib_task(18); });
+  group.wait();
+  EXPECT_EQ(result, 2584);
+}
+
+TEST(Scheduler, ParallelForEachIndexCoversRange) {
+  Scheduler sched(3);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_each_index(sched, 0, 500,
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ParallelForChunkedCoversRange) {
+  Scheduler sched(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunked(sched, 0, 1000, 7,
+                       [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ParallelForChunkedEmptyRange) {
+  Scheduler sched(2);
+  int calls = 0;
+  parallel_for_chunked(sched, 5, 5, 4, [&](std::size_t) { calls += 1; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Scheduler, ExceptionPropagatesToWait) {
+  Scheduler sched(2);
+  TaskGroup group(sched);
+  group.spawn([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(Scheduler, WorkerStatsAccountForAllTasks) {
+  Scheduler sched(4);
+  sched.reset_stats();
+  TaskGroup group(sched);
+  constexpr int kTasks = 2000;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < kTasks; ++i) {
+    group.spawn([&counter] {
+      // A little work so busy_ns is non-trivial.
+      volatile int x = 0;
+      for (int j = 0; j < 100; ++j) {
+        x = x + j;
+      }
+      counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), kTasks);
+
+  const auto stats = sched.worker_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t executed = 0;
+  std::uint64_t spawned = 0;
+  for (const auto& s : stats) {
+    executed += s.tasks_executed;
+    spawned += s.tasks_spawned;
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(spawned, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Scheduler, CurrentIsScopedToWorkers) {
+  EXPECT_EQ(Scheduler::current(), nullptr);
+  {
+    Scheduler sched(2);
+    EXPECT_EQ(Scheduler::current(), &sched);
+    EXPECT_EQ(Scheduler::current_worker_id(), 0);
+    TaskGroup group(sched);
+    std::atomic<bool> saw_scheduler{false};
+    group.spawn([&] {
+      saw_scheduler.store(Scheduler::current() != nullptr &&
+                          Scheduler::current_worker_id() >= 0);
+    });
+    group.wait();
+    EXPECT_TRUE(saw_scheduler.load());
+  }
+  EXPECT_EQ(Scheduler::current(), nullptr);
+}
+
+TEST(Scheduler, ManySmallGroupsSequentially) {
+  Scheduler sched(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> counter{0};
+    TaskGroup group(sched);
+    for (int i = 0; i < 10; ++i) {
+      group.spawn([&counter] { counter.fetch_add(1); });
+    }
+    group.wait();
+    ASSERT_EQ(counter.load(), 10) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -5,6 +5,7 @@
 // stealing.
 #include <iostream>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -12,7 +13,13 @@
 
 using namespace parcycle;
 
-int main() {
+int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_ablation_copy_on_steal\n"
+                     "Compares copy-on-steal repair vs naive state restore "
+                     "on the built-in dataset roster.\n")) {
+    return 0;
+  }
   const unsigned threads = 8;
   ParallelOptions repair;
   repair.spawn_policy = SpawnPolicy::kAlways;

@@ -3,6 +3,7 @@
 // plus 2SCENT's sequential preprocessing cost for contrast.
 #include <iostream>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -11,7 +12,13 @@
 
 using namespace parcycle;
 
-int main() {
+int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_ablation_preprocess\n"
+                     "Measures cycle-union preprocessing on vs off for the "
+                     "temporal Johnson algorithm.\n")) {
+    return 0;
+  }
   std::cout << "=== Ablation: cycle-union preprocessing (temporal Johnson, "
                "serial) ===\n\n";
   TextTable table({"graph", "cycles", "with union", "without", "visits with",

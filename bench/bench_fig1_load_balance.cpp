@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -51,6 +52,12 @@ void print_distribution(const char* label, const SimResult& sim) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_fig1_load_balance [dataset]\n"
+                     "Per-thread execution-time distribution, coarse vs fine "
+                     "Johnson (default dataset: WT).\n")) {
+    return 0;
+  }
   const std::string name = argc > 1 ? argv[1] : "WT";
   const auto& spec = dataset_by_name(name);
   const TemporalGraph graph = build_dataset(spec);

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -15,6 +16,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_fig7a_simple_cycles [all]\n"
+                     "Simple cycles within a time window across the dataset "
+                     "roster; pass 'all' for the full roster.\n")) {
+    return 0;
+  }
   const unsigned threads = 4;
   // Default subset keeps the whole run in minutes on one core; pass "all"
   // for the full roster.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -11,6 +12,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_fig7b_temporal_cycles [all]\n"
+                     "Temporal cycles within a time window across the dataset "
+                     "roster; pass 'all' for the full roster.\n")) {
+    return 0;
+  }
   const unsigned threads = 4;
   std::size_t limit = 6;
   if (argc > 1 && std::string(argv[1]) == "all") {

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -16,6 +17,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_fig8_window_sweep [all]\n"
+                     "Window-size sweep, fine vs coarse Johnson; pass 'all' "
+                     "for the full roster.\n")) {
+    return 0;
+  }
   const unsigned threads = 4;
   const unsigned sim_cores = 256;
   std::size_t limit = 5;

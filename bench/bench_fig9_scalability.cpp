@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -21,6 +22,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_fig9_scalability [all]\n"
+                     "Strong-scaling sweep on simulated cores plus a real "
+                     "thread sweep; pass 'all' for the full roster.\n")) {
+    return 0;
+  }
   std::size_t limit = 4;
   if (argc > 1 && std::string(argv[1]) == "all") {
     limit = dataset_registry().size();
@@ -43,10 +50,15 @@ int main(int argc, char** argv) {
     const StartCosts costs = collect_temporal_start_costs(graph, window);
     const double granularity = std::max(costs.total_cost / 20000.0, 16.0);
 
-    Scheduler warm(1);
-    const auto serial = run_temporal(Algo::kSerialJohnson, graph, window,
-                                     warm);
-    const auto two_scent = run_temporal(Algo::kTwoScent, graph, window, warm);
+    // Scoped so the warm-up scheduler is torn down before the real thread
+    // sweep below constructs its own (one scheduler per thread at a time).
+    RunOutcome serial;
+    RunOutcome two_scent;
+    {
+      Scheduler warm(1);
+      serial = run_temporal(Algo::kSerialJohnson, graph, window, warm);
+      two_scent = run_temporal(Algo::kTwoScent, graph, window, warm);
+    }
 
     std::cout << "--- " << spec.name << " (window "
               << TextTable::count(static_cast<std::uint64_t>(window)) << ", "

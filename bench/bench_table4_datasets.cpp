@@ -5,12 +5,19 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/table.hpp"
 
 using namespace parcycle;
 
-int main() {
+int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_table4_datasets\n"
+                     "Prints the dataset roster: paper statistics vs the "
+                     "synthetic analogs benchmarked here.\n")) {
+    return 0;
+  }
   std::cout << "=== Table 4: temporal graphs (paper vs synthetic analog) ===\n"
             << "Analog graphs are scale-free temporal graphs generated at a\n"
             << "laptop-enumerable scale; see DESIGN.md section 5.\n\n";

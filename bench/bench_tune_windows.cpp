@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -15,6 +16,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_tune_windows [dataset...]\n"
+                     "Probes window-size fractions per dataset (default: "
+                     "BA).\n")) {
+    return 0;
+  }
   std::vector<std::string> names;
   for (int i = 1; i < argc; ++i) {
     names.emplace_back(argv[i]);

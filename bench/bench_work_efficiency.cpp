@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
@@ -18,6 +19,12 @@
 using namespace parcycle;
 
 int main(int argc, char** argv) {
+  if (help_requested(argc, argv,
+                     "usage: bench_work_efficiency [all]\n"
+                     "Edge-visit work efficiency under steal-heavy settings; "
+                     "pass 'all' for the full roster.\n")) {
+    return 0;
+  }
   const unsigned threads = 8;  // more threads = more steals = more redundancy
   std::size_t limit = 6;
   if (argc > 1 && std::string(argv[1]) == "all") {

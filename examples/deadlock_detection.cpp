@@ -12,11 +12,18 @@
 #include <map>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "core/johnson.hpp"
 #include "graph/builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcycle;
+  if (help_requested(argc, argv,
+                     "usage: deadlock_detection\n"
+                     "Enumerates dependency cycles of a synthetic lock "
+                     "wait-for graph and a minimal breaking edge set.\n")) {
+    return 0;
+  }
 
   // Threads T0..T7 waiting on locks held by other threads (wait-for edges).
   GraphBuilder builder(8);

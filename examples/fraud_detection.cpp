@@ -10,12 +10,19 @@
 #include <map>
 #include <vector>
 
+#include "bench_support/cli.hpp"
 #include "graph/generators.hpp"
 #include "support/scheduler.hpp"
 #include "temporal/temporal_johnson.hpp"
 
 int main(int argc, char** argv) {
   using namespace parcycle;
+  if (help_requested(argc, argv,
+                     "usage: fraud_detection [num_accounts] [num_transfers]\n"
+                     "Finds temporal cycles in a synthetic payment network "
+                     "(defaults: 2000 accounts, 20000 transfers).\n")) {
+    return 0;
+  }
 
   const VertexId accounts =
       argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 2000;

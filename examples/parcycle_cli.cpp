@@ -71,6 +71,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   using namespace parcycle;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h") {
+      (void)usage();
+      return 0;
+    }
+  }
   if (argc < 2) {
     return usage();
   }

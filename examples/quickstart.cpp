@@ -4,14 +4,21 @@
 //   ./examples/quickstart
 #include <iostream>
 
+#include "bench_support/cli.hpp"
 #include "core/fine_johnson.hpp"
 #include "core/johnson.hpp"
 #include "graph/builder.hpp"
 #include "support/scheduler.hpp"
 #include "temporal/temporal_johnson.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcycle;
+  if (help_requested(argc, argv,
+                     "usage: quickstart\n"
+                     "Builds a small temporal graph and enumerates its cycles "
+                     "three ways, serially and in parallel.\n")) {
+    return 0;
+  }
 
   // A toy transaction history: account -> account transfers with timestamps.
   GraphBuilder builder;

@@ -8,12 +8,19 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_support/cli.hpp"
 #include "bench_support/runner.hpp"
 #include "graph/generators.hpp"
 #include "support/scheduler.hpp"
 
 int main(int argc, char** argv) {
   using namespace parcycle;
+  if (help_requested(argc, argv,
+                     "usage: scaling_demo [n] [threads]\n"
+                     "Runs the Theorem 4.2 adversary graph (defaults: n=18, "
+                     "4 threads).\n")) {
+    return 0;
+  }
 
   const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 18;
   const unsigned threads =

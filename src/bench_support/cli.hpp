@@ -1,0 +1,23 @@
+// Minimal shared CLI convention for bench/ and examples/ binaries: every
+// binary answers `--help`/`-h` with its usage text and exit code 0, so CI can
+// smoke-invoke all of them without running a full benchmark.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+
+namespace parcycle {
+
+// Prints `usage` and returns true when argv contains --help or -h. Callers
+// return 0 from main() immediately in that case.
+inline bool help_requested(int argc, char** argv, const char* usage) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << usage;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace parcycle

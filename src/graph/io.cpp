@@ -1,5 +1,7 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -16,6 +18,9 @@ TemporalGraph load_temporal_edge_list(std::istream& in,
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    if (line_number == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) {
+      line.erase(0, 3);  // UTF-8 BOM from Windows-saved files
+    }
     // Strip comments and blank lines.
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
@@ -25,6 +30,16 @@ TemporalGraph load_temporal_edge_list(std::istream& in,
     long long u = 0;
     long long v = 0;
     if (!(fields >> u)) {
+      // Non-numeric garbage is an error, not a comment. "Blank" must match
+      // istream's whitespace notion (isspace), not a hand-picked char set.
+      const bool blank =
+          std::all_of(line.begin(), line.end(), [](unsigned char c) {
+            return std::isspace(c) != 0;
+          });
+      if (!blank) {
+        throw std::runtime_error("malformed edge list at line " +
+                                 std::to_string(line_number));
+      }
       continue;  // blank or comment-only line
     }
     if (!(fields >> v) || u < 0 || v < 0) {

@@ -15,7 +15,15 @@
 #include <optional>
 #include <vector>
 
+#include "support/tsan.hpp"
+
 namespace parcycle {
+
+// Under TSan the standalone fences below are invisible to the race detector,
+// so the accesses they order are strengthened to equivalent acquire/release/
+// seq_cst operations instead (slower, but only in sanitizer builds).
+inline constexpr std::memory_order kDequeRelaxedUnlessTsan =
+    PARCYCLE_TSAN ? std::memory_order_seq_cst : std::memory_order_relaxed;
 
 template <typename T>
 class ChaseLevDeque {
@@ -41,17 +49,20 @@ class ChaseLevDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    fence_unless_tsan(std::memory_order_release);
+    // seq_cst under TSan: besides publishing the item, this store is the
+    // producer side of the Dekker pairing with the sleeper re-check in
+    // Scheduler::worker_main, which the release fence alone covered.
+    bottom_.store(b + 1, kDequeRelaxedUnlessTsan);
   }
 
   // Owner only. LIFO.
   std::optional<T> pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    bottom_.store(b, kDequeRelaxedUnlessTsan);
+    fence_unless_tsan(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(kDequeRelaxedUnlessTsan);
     if (t > b) {
       // Deque was already empty; restore.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -73,9 +84,13 @@ class ChaseLevDeque {
 
   // Any thread. FIFO.
   std::optional<T> steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t =
+        top_.load(PARCYCLE_TSAN ? std::memory_order_seq_cst
+                                : std::memory_order_acquire);
+    fence_unless_tsan(std::memory_order_seq_cst);
+    const std::int64_t b =
+        bottom_.load(PARCYCLE_TSAN ? std::memory_order_seq_cst
+                                   : std::memory_order_acquire);
     if (t >= b) {
       return std::nullopt;
     }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/prng.hpp"
+#include "support/tsan.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -162,8 +163,10 @@ void Scheduler::push_task(detail::TaskBase* task) {
 void Scheduler::wake_workers() {
   // Pairs with the seq_cst increment of num_sleepers_ in worker_main: either
   // the sleeper sees our push in its re-check, or we see its increment here.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (num_sleepers_.load(std::memory_order_relaxed) > 0) {
+  // (Under TSan the fence vanishes and the load itself is seq_cst.)
+  fence_unless_tsan(std::memory_order_seq_cst);
+  if (num_sleepers_.load(PARCYCLE_TSAN ? std::memory_order_seq_cst
+                                       : std::memory_order_relaxed) > 0) {
     {
       std::lock_guard<std::mutex> lk(park_mutex_);
       wake_epoch_.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,31 @@
+// ThreadSanitizer detection. TSan does not model standalone
+// std::atomic_thread_fence (gcc even warns via -Wtsan), so fence-based
+// synchronization must be expressed as stronger orderings on the
+// participating atomic accesses when TSan is active.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define PARCYCLE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARCYCLE_TSAN 1
+#endif
+#endif
+#ifndef PARCYCLE_TSAN
+#define PARCYCLE_TSAN 0
+#endif
+
+namespace parcycle {
+
+// A fence that disappears under TSan. Every call site must pair it with
+// TSan-visible orderings on the adjacent atomic accesses (see the
+// PARCYCLE_TSAN branches at those sites).
+inline void fence_unless_tsan([[maybe_unused]] std::memory_order order) {
+#if !PARCYCLE_TSAN
+  std::atomic_thread_fence(order);
+#endif
+}
+
+}  // namespace parcycle

@@ -50,15 +50,14 @@ int main(int argc, char** argv) {
     const StartCosts costs = collect_temporal_start_costs(graph, window);
     const double granularity = std::max(costs.total_cost / 20000.0, 16.0);
 
-    // Scoped so the warm-up scheduler is torn down before the real thread
-    // sweep below constructs its own (one scheduler per thread at a time).
+    // Scoped via with_pool so the warm-up scheduler is torn down before the
+    // real thread sweep below constructs its own (one per thread at a time).
     RunOutcome serial;
     RunOutcome two_scent;
-    {
-      Scheduler warm(1);
+    Scheduler::with_pool(1, [&](Scheduler& warm) {
       serial = run_temporal(Algo::kSerialJohnson, graph, window, warm);
       two_scent = run_temporal(Algo::kTwoScent, graph, window, warm);
-    }
+    });
 
     std::cout << "--- " << spec.name << " (window "
               << TextTable::count(static_cast<std::uint64_t>(window)) << ", "
@@ -86,12 +85,15 @@ int main(int argc, char** argv) {
     // Real thread sweep (timeshared on one core).
     TextTable real({"threads", "fine-J wall", "coarse-J wall", "cycles"});
     for (const unsigned threads : {1u, 2u, 4u}) {
-      Scheduler sched(threads);
-      const auto fj = run_temporal(Algo::kFineJohnson, graph, window, sched);
-      const auto cj = run_temporal(Algo::kCoarseJohnson, graph, window, sched);
-      real.add_row({std::to_string(threads), TextTable::with_unit(fj.seconds),
-                    TextTable::with_unit(cj.seconds),
-                    TextTable::count(fj.result.num_cycles)});
+      Scheduler::with_pool(threads, [&](Scheduler& sched) {
+        const auto fj = run_temporal(Algo::kFineJohnson, graph, window, sched);
+        const auto cj =
+            run_temporal(Algo::kCoarseJohnson, graph, window, sched);
+        real.add_row({std::to_string(threads),
+                      TextTable::with_unit(fj.seconds),
+                      TextTable::with_unit(cj.seconds),
+                      TextTable::count(fj.result.num_cycles)});
+      });
     }
     real.print(std::cout);
     std::cout << "\n";

@@ -2,28 +2,72 @@
 // statistics next to the synthetic analog actually benchmarked here
 // (including measured degree skew, the property that drives the paper's
 // load-imbalance results).
+//
+// With --json <path> the roster is persisted together with serial-Johnson
+// enumeration probes at the tuned windows (cycles, wall seconds, edge
+// visits per dataset) — the BENCH_table4.json baseline that perf PRs diff
+// against. Probes cover the `quick` roster by default; pass `all` for every
+// dataset.
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "bench_support/cli.hpp"
 #include "bench_support/datasets.hpp"
+#include "bench_support/json.hpp"
+#include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
+#include "support/scheduler.hpp"
 
 using namespace parcycle;
 
 int main(int argc, char** argv) {
   if (help_requested(argc, argv,
-                     "usage: bench_table4_datasets\n"
+                     "usage: bench_table4_datasets [quick|all] [--json <path>]\n"
                      "Prints the dataset roster: paper statistics vs the "
-                     "synthetic analogs benchmarked here.\n")) {
+                     "synthetic analogs benchmarked here.\n"
+                     "--json additionally runs serial-Johnson probes at the "
+                     "tuned windows and persists the baseline.\n")) {
     return 0;
   }
+  std::size_t probe_limit = 4;  // `quick`
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "all") {
+      probe_limit = dataset_registry().size();
+    } else if (arg == "quick") {
+      probe_limit = 4;
+    } else if (arg == "--json" && i + 1 < argc) {
+      ++i;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n"
+                << "usage: bench_table4_datasets [quick|all] [--json <path>]\n";
+      return 2;
+    }
+  }
+  const std::string json_path = json_output_path(argc, argv);
+
   std::cout << "=== Table 4: temporal graphs (paper vs synthetic analog) ===\n"
             << "Analog graphs are scale-free temporal graphs generated at a\n"
             << "laptop-enumerable scale; see DESIGN.md section 5.\n\n";
   TextTable table({"graph", "paper n", "paper e", "analog n", "analog e",
                    "span", "max out-deg", "avg out-deg", "window s",
                    "window t"});
+
+  std::unique_ptr<JsonBaselineFile> baseline;
+  JsonWriter* json = nullptr;
+  if (!json_path.empty()) {
+    baseline = JsonBaselineFile::open(json_path, "table4_datasets");
+    if (baseline == nullptr) {
+      return 1;
+    }
+    json = &baseline->writer();
+    json->key("datasets");
+    json->begin_array();
+  }
+
+  std::size_t index = 0;
   for (const auto& spec : dataset_registry()) {
     const TemporalGraph graph = build_dataset(spec);
     std::size_t max_degree = 0;
@@ -46,7 +90,66 @@ int main(int argc, char** argv) {
                        : "-",
                    TextTable::count(static_cast<std::uint64_t>(
                        spec.window_temporal))});
+
+    if (json != nullptr) {
+      json->begin_object();
+      json->kv("name", spec.name);
+      json->kv("full_name", spec.full_name);
+      json->kv("paper_vertices", spec.paper_vertices);
+      json->kv("paper_edges", spec.paper_edges);
+      json->kv("analog_vertices", graph.num_vertices());
+      json->kv("analog_edges", graph.num_edges());
+      json->kv("time_span", static_cast<std::int64_t>(graph.time_span()));
+      json->kv("max_out_degree", static_cast<std::uint64_t>(max_degree));
+      json->kv("avg_out_degree", avg_degree);
+      json->kv("window_simple", static_cast<std::int64_t>(spec.window_simple));
+      json->kv("window_temporal",
+               static_cast<std::int64_t>(spec.window_temporal));
+      if (index < probe_limit) {
+        // Serial-Johnson probes: the dataset-level perf baseline (cycles,
+        // wall seconds, edge visits). The registry windows are tuned for the
+        // sub-millisecond smoke regime, so the probes scale them up (8x)
+        // into the hundreds-to-thousands-of-cycles regime where perf deltas
+        // are measurable; the scaled window is recorded alongside each
+        // probe. (Cycle counts are extremely steep in the window size, so
+        // larger multipliers explode combinatorially on some analogs.)
+        Scheduler::with_pool(1, [&](Scheduler& sched) {
+          json->key("probes");
+          json->begin_array();
+          const auto emit = [&](const char* task, const RunOutcome& probe,
+                                Timestamp window) {
+            json->begin_object();
+            json->kv("task", task);
+            json->kv("window", static_cast<std::int64_t>(window));
+            json->kv("cycles", probe.result.num_cycles);
+            json->kv("seconds", probe.seconds);
+            json->kv("edges_visited", probe.result.work.edges_visited);
+            json->end_object();
+          };
+          if (spec.window_simple > 0) {
+            const Timestamp window = spec.window_simple * 8;
+            emit("windowed_simple",
+                 run_windowed_simple(Algo::kSerialJohnson, graph, window,
+                                     sched),
+                 window);
+          }
+          const Timestamp window = spec.window_temporal * 8;
+          emit("temporal",
+               run_temporal(Algo::kSerialJohnson, graph, window, sched),
+               window);
+          json->end_array();
+        });
+      }
+      json->end_object();
+    }
+    index += 1;
   }
   table.print(std::cout);
+  if (json != nullptr) {
+    json->end_array();
+    json = nullptr;
+    baseline.reset();  // closes the root object and the file
+    std::cout << "json written to " << json_path << "\n";
+  }
   return 0;
 }

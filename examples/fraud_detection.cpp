@@ -3,7 +3,13 @@
 // and returning to it through a chain of time-ordered transfers is a strong
 // money-laundering / circular-trading signal.
 //
-//   ./examples/fraud_detection [num_accounts] [num_transfers]
+//   ./examples/fraud_detection [num_accounts] [num_transfers] [max_hops]
+//
+// Two scans are run: a temporal-cycle scan (transfers strictly time-ordered
+// around the ring — the paper's laundering signal) and a hop-constrained
+// BC-DFS scan for short rings regardless of transfer order (max_hops edges, a
+// superset of the temporal rings of that length — the screening query an
+// analyst widens to).
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -11,23 +17,36 @@
 #include <vector>
 
 #include "bench_support/cli.hpp"
+#include "core/fine_hc_dfs.hpp"
 #include "graph/generators.hpp"
 #include "support/scheduler.hpp"
+#include "support/stats.hpp"
 #include "temporal/temporal_johnson.hpp"
 
 int main(int argc, char** argv) {
   using namespace parcycle;
   if (help_requested(argc, argv,
-                     "usage: fraud_detection [num_accounts] [num_transfers]\n"
-                     "Finds temporal cycles in a synthetic payment network "
-                     "(defaults: 2000 accounts, 20000 transfers).\n")) {
+                     "usage: fraud_detection [num_accounts] [num_transfers] "
+                     "[max_hops]\n"
+                     "Finds temporal cycles plus hop-constrained (<= max_hops "
+                     "edges, order-agnostic) rings in a synthetic payment "
+                     "network (defaults: 2000 accounts, 20000 transfers, 4 "
+                     "hops).\n")) {
     return 0;
   }
 
-  const VertexId accounts =
-      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 2000;
-  const std::size_t transfers =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 20000;
+  // Parse signed first so negative inputs are rejected instead of wrapping
+  // through the unsigned graph-size types.
+  const long accounts_arg = argc > 1 ? std::atol(argv[1]) : 2000;
+  const long transfers_arg = argc > 2 ? std::atol(argv[2]) : 20000;
+  const int max_hops = argc > 3 ? std::atoi(argv[3]) : 4;
+  if (accounts_arg < 2 || transfers_arg < 1 || max_hops < 1) {
+    std::cerr << "invalid arguments: need num_accounts >= 2, num_transfers "
+                 ">= 1, max_hops >= 1\n";
+    return 2;
+  }
+  const VertexId accounts = static_cast<VertexId>(accounts_arg);
+  const std::size_t transfers = static_cast<std::size_t>(transfers_arg);
 
   // Synthetic payment network: heavy-tailed activity (a few busy accounts),
   // bursty timestamps — the shape of real transaction graphs.
@@ -82,5 +101,19 @@ int main(int argc, char** argv) {
     std::cout << "  account " << ranked[i].second << ": " << ranked[i].first
               << " cycles\n";
   }
+
+  // Widened screening query: short rings regardless of transfer order,
+  // enumerated by the dedicated hop-constrained subsystem (BC-DFS).
+  std::cout << "\nscreening for order-agnostic rings of at most " << max_hops
+            << " hops in the same window...\n";
+  WallTimer timer;
+  const EnumResult rings =
+      fine_hc_windowed_cycles(payments, window, max_hops, sched);
+  std::cout << "rings found: " << rings.num_cycles << " ("
+            << rings.work.edges_visited << " edge visits, "
+            << timer.elapsed_seconds() << "s)\n"
+            << "every time-ordered cycle of that length is among these; the "
+               "extras are candidate\nstructuring patterns that a pure "
+               "temporal scan misses.\n";
   return 0;
 }

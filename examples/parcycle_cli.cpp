@@ -8,6 +8,9 @@
 //            coarse-rt|tiernan|2scent|brute   (default fine-johnson)
 //     --threads N                       (default 4)
 //     --max-length N                    (0 = unbounded)
+//     --hops K    hop-constrained mode: run the dedicated BC-DFS subsystem
+//                 (simple mode: serial BC-DFS; windowed mode: serial or
+//                 fine-grained BC-DFS depending on --algo fine-*)
 //     --no-cycle-union --no-bundling
 //     --print                           (print every cycle)
 //
@@ -18,8 +21,10 @@
 #include <string>
 
 #include "core/coarse_grained.hpp"
+#include "core/fine_hc_dfs.hpp"
 #include "core/fine_johnson.hpp"
 #include "core/fine_read_tarjan.hpp"
+#include "core/hc_dfs.hpp"
 #include "core/johnson.hpp"
 #include "core/read_tarjan.hpp"
 #include "core/tiernan.hpp"
@@ -62,8 +67,12 @@ int usage() {
                "temporal] [--window N]\n"
                "  [--algo fine-johnson|fine-rt|coarse-johnson|coarse-rt|"
                "serial-johnson|serial-rt|tiernan|2scent|brute]\n"
-               "  [--threads N] [--max-length N] [--no-cycle-union] "
-               "[--no-bundling] [--print]\n";
+               "  [--threads N] [--max-length N] [--hops K] "
+               "[--no-cycle-union] [--no-bundling] [--print]\n"
+               "--hops K enumerates hop-constrained cycles (<= K edges) with "
+               "the BC-DFS subsystem\n"
+               "(simple/windowed modes; windowed picks serial or fine-grained "
+               "BC-DFS from --algo).\n";
   return 2;
 }
 
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
   std::string algo = "fine-johnson";
   Timestamp window = -1;
   unsigned threads = 4;
+  int hops = 0;
   EnumOptions options;
   bool print = false;
 
@@ -103,6 +113,8 @@ int main(int argc, char** argv) {
       threads = next() ? static_cast<unsigned>(std::atoi(argv[i])) : 4;
     } else if (arg == "--max-length") {
       options.max_cycle_length = next() ? std::atoi(argv[i]) : 0;
+    } else if (arg == "--hops") {
+      hops = next() ? std::atoi(argv[i]) : 0;
     } else if (arg == "--no-cycle-union") {
       options.use_cycle_union = false;
     } else if (arg == "--no-bundling") {
@@ -136,7 +148,26 @@ int main(int argc, char** argv) {
   WallTimer timer;
   EnumResult result;
 
-  if (mode == "simple") {
+  if (hops > 0 && mode == "temporal") {
+    std::cerr << "--hops supports simple and windowed modes only (temporal "
+                 "cycles are time-ordered; use --max-length instead)\n";
+    return usage();
+  }
+  if (hops > 0 && options.max_cycle_length > 0) {
+    std::cerr << "--hops and --max-length both bound the cycle length; pass "
+                 "exactly one\n";
+    return usage();
+  }
+
+  if (hops > 0 && mode == "simple") {
+    const Digraph digraph = graph.static_projection();
+    result = hc_simple_cycles(digraph, hops, options, sink);
+  } else if (hops > 0 && mode == "windowed") {
+    const bool fine = algo.rfind("fine", 0) == 0;
+    result = fine ? fine_hc_windowed_cycles(graph, window, hops, sched,
+                                            options, {}, sink)
+                  : hc_windowed_cycles(graph, window, hops, options, sink);
+  } else if (mode == "simple") {
     const Digraph digraph = graph.static_projection();
     if (algo == "serial-johnson" || algo == "fine-johnson") {
       result = johnson_simple_cycles(digraph, options, sink);

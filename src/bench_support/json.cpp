@@ -1,0 +1,218 @@
+#include "bench_support/json.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+namespace parcycle {
+
+JsonWriter::JsonWriter(std::ostream& out) : out_(out) {}
+
+JsonWriter::~JsonWriter() {
+  while (!scopes_.empty()) {
+    if (scopes_.back() == Scope::kObject) {
+      end_object();
+    } else {
+      end_array();
+    }
+  }
+  out_ << "\n";
+}
+
+void JsonWriter::indent() {
+  out_ << "\n";
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::begin_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value sits on the key's line
+  }
+  if (needs_comma_) {
+    out_ << ",";
+  }
+  if (!scopes_.empty()) {
+    indent();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ << "{";
+  scopes_.push_back(Scope::kObject);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  scopes_.pop_back();
+  if (needs_comma_) {  // object had at least one member
+    indent();
+  }
+  out_ << "}";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ << "[";
+  scopes_.push_back(Scope::kArray);
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  scopes_.pop_back();
+  if (needs_comma_) {
+    indent();
+  }
+  out_ << "]";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (needs_comma_) {
+    out_ << ",";
+  }
+  indent();
+  out_ << "\"";
+  write_escaped(name);
+  out_ << "\": ";
+  needs_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  out_ << "\"";
+  write_escaped(text);
+  out_ << "\"";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ << (flag ? "true" : "false");
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  out_ << number;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  out_ << number;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  begin_value();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+  } else {
+    // Shortest round-trippable form keeps baselines diff-friendly.
+    std::ostringstream stream;
+    stream << std::setprecision(17) << number;
+    double parsed = 0.0;
+    for (int precision = 6; precision <= 17; ++precision) {
+      std::ostringstream probe;
+      probe << std::setprecision(precision) << number;
+      std::istringstream(probe.str()) >> parsed;
+      if (parsed == number) {
+        out_ << probe.str();
+        break;
+      }
+      if (precision == 17) {
+        out_ << stream.str();
+      }
+    }
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+               << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+struct JsonBaselineFile::Impl {
+  std::ofstream file;
+};
+
+std::unique_ptr<JsonBaselineFile> JsonBaselineFile::open(
+    const std::string& path, std::string_view bench_name) {
+  auto impl = std::make_unique<Impl>();
+  impl->file.open(path);
+  if (!impl->file) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return nullptr;
+  }
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<JsonBaselineFile> baseline(new JsonBaselineFile());
+  baseline->impl_ = std::move(impl);
+  baseline->writer_ = std::make_unique<JsonWriter>(baseline->impl_->file);
+  baseline->writer_->begin_object();
+  baseline->writer_->kv("bench", bench_name);
+  return baseline;
+}
+
+// writer_ is declared after impl_, so it is destroyed first: it closes the
+// root object into the still-open stream.
+JsonBaselineFile::~JsonBaselineFile() = default;
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+}  // namespace parcycle

@@ -1,0 +1,105 @@
+// Minimal streaming JSON writer for the bench binaries' --json output mode.
+//
+// Benches print human tables to stdout; with `--json <path>` they also
+// persist a machine-readable record (the checked-in BENCH_*.json baselines)
+// so perf PRs can diff cycles / wall seconds / edge visits per dataset and CI
+// can flag regressions. The writer emits pretty-printed, two-space-indented
+// JSON with keys in insertion order, which keeps the baseline diffs stable
+// and reviewable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace parcycle {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out);
+  // Closes any scopes still open and flushes the trailing newline.
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Emits the key of the next value; must be inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(double number);  // finite; non-finite emits null
+
+  // Any other integer width routes through the 64-bit overloads.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::int64_t> &&
+             !std::is_same_v<T, std::uint64_t>)
+  JsonWriter& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(number));
+    } else {
+      return value(static_cast<std::uint64_t>(number));
+    }
+  }
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void begin_value();  // comma/indent bookkeeping before any value or key
+  void indent();
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  std::vector<Scope> scopes_;
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+// Scans argv for `--json <path>`; returns the path or an empty string. The
+// shared convention for every bench main.
+std::string json_output_path(int argc, char** argv);
+
+// RAII bundle of the output file stream and its writer, with the shared
+// baseline preamble (`"bench": <name>` inside the root object) already
+// emitted; the destructor closes the root object. Shared by every bench
+// main's --json mode.
+class JsonBaselineFile {
+ public:
+  // Opens `path` and writes the preamble. Returns nullptr after printing to
+  // stderr when the file cannot be opened.
+  static std::unique_ptr<JsonBaselineFile> open(const std::string& path,
+                                                std::string_view bench_name);
+  ~JsonBaselineFile();
+
+  JsonWriter& writer() noexcept { return *writer_; }
+
+ private:
+  JsonBaselineFile() = default;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<JsonWriter> writer_;
+};
+
+}  // namespace parcycle

@@ -5,8 +5,10 @@
 #include <stdexcept>
 
 #include "core/coarse_grained.hpp"
+#include "core/fine_hc_dfs.hpp"
 #include "core/fine_johnson.hpp"
 #include "core/fine_read_tarjan.hpp"
+#include "core/hc_dfs.hpp"
 #include "core/johnson.hpp"
 #include "core/johnson_impl.hpp"
 #include "core/read_tarjan.hpp"
@@ -34,6 +36,10 @@ std::string algo_name(Algo algo) {
       return "serial-Read-Tarjan";
     case Algo::kTwoScent:
       return "2SCENT";
+    case Algo::kSerialHcDfs:
+      return "serial-BC-DFS";
+    case Algo::kFineHcDfs:
+      return "fine-BC-DFS";
   }
   return "?";
 }
@@ -69,6 +75,10 @@ RunOutcome run_windowed_simple(Algo algo, const TemporalGraph& graph,
       break;
     case Algo::kTwoScent:
       throw std::invalid_argument("2SCENT enumerates temporal cycles only");
+    case Algo::kSerialHcDfs:
+    case Algo::kFineHcDfs:
+      throw std::invalid_argument(
+          "BC-DFS requires a hop bound; use run_hop_constrained");
   }
   outcome.seconds = timer.elapsed_seconds();
   return outcome;
@@ -106,6 +116,51 @@ RunOutcome run_temporal(Algo algo, const TemporalGraph& graph,
     case Algo::kTwoScent:
       outcome.result = two_scent_cycles(graph, window, options);
       break;
+    case Algo::kSerialHcDfs:
+    case Algo::kFineHcDfs:
+      throw std::invalid_argument(
+          "BC-DFS requires a hop bound; use run_hop_constrained");
+  }
+  outcome.seconds = timer.elapsed_seconds();
+  return outcome;
+}
+
+RunOutcome run_hop_constrained(Algo algo, const TemporalGraph& graph,
+                               Timestamp window, int max_hops,
+                               Scheduler& sched, const EnumOptions& options,
+                               const ParallelOptions& popts) {
+  if (max_hops < 1) {
+    // 0 is BC-DFS's empty result but Johnson's "unbounded" sentinel
+    // (max_cycle_length == 0), so a uniform rejection is the only
+    // interpretation that keeps the algorithms comparable.
+    throw std::invalid_argument("run_hop_constrained: max_hops must be >= 1");
+  }
+  RunOutcome outcome;
+  WallTimer timer;
+  switch (algo) {
+    case Algo::kSerialHcDfs:
+      outcome.result = hc_windowed_cycles(graph, window, max_hops, options);
+      break;
+    case Algo::kFineHcDfs:
+      outcome.result =
+          fine_hc_windowed_cycles(graph, window, max_hops, sched, options,
+                                  popts);
+      break;
+    case Algo::kFineJohnson:
+    case Algo::kFineReadTarjan:
+    case Algo::kCoarseJohnson:
+    case Algo::kCoarseReadTarjan:
+    case Algo::kSerialJohnson:
+    case Algo::kSerialReadTarjan: {
+      // The pre-existing approximation of this workload: budget-aware
+      // blocking inside the simple-cycle searches.
+      EnumOptions budget = options;
+      budget.max_cycle_length = max_hops;
+      return run_windowed_simple(algo, graph, window, sched, budget, popts);
+    }
+    case Algo::kTwoScent:
+      throw std::invalid_argument(
+          "2SCENT enumerates temporal cycles only");
   }
   outcome.seconds = timer.elapsed_seconds();
   return outcome;

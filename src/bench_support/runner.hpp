@@ -21,6 +21,8 @@ enum class Algo {
   kSerialJohnson,
   kSerialReadTarjan,
   kTwoScent,
+  kSerialHcDfs,
+  kFineHcDfs,
 };
 
 std::string algo_name(Algo algo);
@@ -41,6 +43,17 @@ RunOutcome run_temporal(Algo algo, const TemporalGraph& graph,
                         Timestamp window, Scheduler& sched,
                         const EnumOptions& options = {},
                         const ParallelOptions& popts = {});
+
+// Hop-constrained windowed simple cycle enumeration (the journal version's
+// third workload): at most `max_hops` edges per cycle. kSerialHcDfs /
+// kFineHcDfs run the dedicated BC-DFS subsystem; the Johnson / Read-Tarjan
+// algos run their budget-blocked searches (options.max_cycle_length is set to
+// max_hops), which is the baseline BC-DFS is benchmarked against.
+RunOutcome run_hop_constrained(Algo algo, const TemporalGraph& graph,
+                               Timestamp window, int max_hops,
+                               Scheduler& sched,
+                               const EnumOptions& options = {},
+                               const ParallelOptions& popts = {});
 
 // Per-starting-edge work profile: cost (edge visits) of the serial search
 // from each starting edge, plus its recursion depth-ish critical path proxy

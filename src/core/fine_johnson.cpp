@@ -23,20 +23,20 @@ struct SearchContext;
 
 // Whole-run shared state.
 struct FineJohnsonRun {
-  FineJohnsonRun(const TemporalGraph& graph, Timestamp window,
-                 Scheduler& sched, const EnumOptions& options,
-                 const ParallelOptions& popts, CycleSink* sink)
-      : graph(graph),
-        window(window),
-        sched(sched),
-        options(options),
-        popts(popts),
-        sink(sink),
-        bounded(options.max_cycle_length > 0),
-        state_pool([n = graph.num_vertices()] {
+  FineJohnsonRun(const TemporalGraph& graph_, Timestamp window_,
+                 Scheduler& sched_, const EnumOptions& options_,
+                 const ParallelOptions& popts_, CycleSink* sink_)
+      : graph(graph_),
+        window(window_),
+        sched(sched_),
+        options(options_),
+        popts(popts_),
+        sink(sink_),
+        bounded(options_.max_cycle_length > 0),
+        state_pool([n = graph_.num_vertices()] {
           return std::make_unique<JohnsonState>(n);
         }),
-        union_pool([n = graph.num_vertices()] {
+        union_pool([n = graph_.num_vertices()] {
           auto scratch = std::make_unique<CycleUnionScratch>();
           scratch->init(n);
           return scratch;

@@ -14,19 +14,19 @@ namespace parcycle {
 namespace {
 
 struct FineRTRun {
-  FineRTRun(const TemporalGraph& graph, Timestamp window, Scheduler& sched,
-            const EnumOptions& options, const ParallelOptions& popts,
-            CycleSink* sink)
-      : graph(graph),
-        window(window),
-        sched(sched),
-        options(options),
-        popts(popts),
-        sink(sink),
-        state_pool([n = graph.num_vertices()] {
+  FineRTRun(const TemporalGraph& graph_, Timestamp window_, Scheduler& sched_,
+            const EnumOptions& options_, const ParallelOptions& popts_,
+            CycleSink* sink_)
+      : graph(graph_),
+        window(window_),
+        sched(sched_),
+        options(options_),
+        popts(popts_),
+        sink(sink_),
+        state_pool([n = graph_.num_vertices()] {
           return std::make_unique<ReadTarjanState>(n);
         }),
-        union_pool([n = graph.num_vertices()] {
+        union_pool([n = graph_.num_vertices()] {
           auto scratch = std::make_unique<CycleUnionScratch>();
           scratch->init(n);
           return scratch;

@@ -1,0 +1,286 @@
+#include "core/hc_dfs.hpp"
+
+#include <cassert>
+
+namespace parcycle {
+
+// ---- HcDistScratch ---------------------------------------------------------
+
+bool HcDistScratch::compute_static(const Digraph& graph, VertexId root,
+                                   std::int32_t max_depth) {
+  begin_epoch(root);
+  bool has_admissible_in_edge = false;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const VertexId v = queue_[qi];
+    // The root's in-neighbors are scanned even at depth bound 0 so that a
+    // lone self-loop (a one-hop cycle) still reports an admissible edge.
+    const bool expand = dist_[v] < max_depth;
+    if (!expand && v != root) {
+      continue;
+    }
+    for (const VertexId u : graph.in_neighbors(v)) {
+      if (u < root) {
+        continue;
+      }
+      if (v == root) {
+        has_admissible_in_edge = true;
+      }
+      if (expand && stamp_[u] != epoch_) {
+        stamp_[u] = epoch_;
+        dist_[u] = dist_[v] + 1;
+        queue_.push_back(u);
+      }
+    }
+  }
+  return has_admissible_in_edge;
+}
+
+void HcDistScratch::compute_windowed(const TemporalGraph& graph, VertexId tail,
+                                     EdgeId e0, Timestamp t0, Timestamp hi,
+                                     std::int32_t max_depth) {
+  begin_epoch(tail);
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const VertexId v = queue_[qi];
+    if (dist_[v] >= max_depth) {
+      continue;
+    }
+    for (const auto& e : graph.in_edges_in_window(v, t0, hi)) {
+      if (e.id > e0 && stamp_[e.src] != epoch_) {
+        stamp_[e.src] = epoch_;
+        dist_[e.src] = dist_[v] + 1;
+        queue_.push_back(e.src);
+      }
+    }
+  }
+}
+
+namespace detail {
+
+// ---- static search ---------------------------------------------------------
+
+namespace {
+
+// BC-DFS over the subgraph induced by {v >= start}; cycles are rooted at
+// their smallest vertex, exactly like StaticJohnsonSearch.
+class HcStaticSearch {
+ public:
+  HcStaticSearch(const Digraph& graph, CycleSink* sink)
+      : graph_(graph), sink_(sink) {}
+
+  std::uint64_t search_from(VertexId start, int max_hops, HcState& state,
+                            const HcDistScratch& dist) {
+    state_ = &state;
+    dist_ = &dist;
+    start_ = start;
+    found_ = 0;
+    circuit(start, max_hops);
+    return found_;
+  }
+
+ private:
+  void report() {
+    found_ += 1;
+    state_->counters.cycles_found += 1;
+    if (sink_ != nullptr) {
+      sink_->on_cycle({state_->path_data(), state_->path_length()}, {});
+    }
+  }
+
+  bool circuit(VertexId v, std::int32_t rem) {
+    HcState& st = *state_;
+    st.push(v, kInvalidEdge);
+    st.counters.vertices_visited += 1;
+    bool found = false;
+    for (const VertexId w : graph_.out_neighbors(v)) {
+      if (w < start_) {
+        continue;
+      }
+      st.counters.edges_visited += 1;
+      if (w == start_) {
+        if (rem >= 1) {
+          report();
+          found = true;
+        }
+      } else {
+        const std::int32_t next = rem - 1;
+        if (next >= 1 && next >= dist_->dist_to_target(w) &&
+            st.can_visit(w, next)) {
+          found |= circuit(w, next);
+        }
+      }
+    }
+    if (found) {
+      st.exit_success(v);
+    } else {
+      st.exit_failure(v, rem);
+    }
+    st.pop();
+    return found;
+  }
+
+  const Digraph& graph_;
+  CycleSink* sink_;
+  HcState* state_ = nullptr;
+  const HcDistScratch* dist_ = nullptr;
+  VertexId start_ = 0;
+  std::uint64_t found_ = 0;
+};
+
+}  // namespace
+
+// ---- windowed search --------------------------------------------------------
+
+bool HcWindowedSearch::prepare_start(const TemporalGraph& graph,
+                                     const TemporalEdge& e0, Timestamp window,
+                                     int max_hops, HcDistScratch& dist,
+                                     StartContext& ctx) {
+  assert(e0.src != e0.dst && "self-loops are handled by the driver");
+  if (max_hops < 2) {
+    return false;  // a non-self-loop cycle needs at least two edges
+  }
+  ctx.e0 = e0.id;
+  ctx.tail = e0.src;
+  ctx.head = e0.dst;
+  ctx.t0 = e0.ts;
+  ctx.hi = e0.ts + window;
+  ctx.cycle_union = nullptr;  // HC pruning lives in HcDistScratch instead
+  // Cheap rejection: the head must have an admissible out-edge and the tail
+  // an admissible in-edge.
+  if (graph.out_edges_in_window(e0.dst, ctx.t0, ctx.hi).empty() ||
+      graph.in_edges_in_window(e0.src, ctx.t0, ctx.hi).empty()) {
+    return false;
+  }
+  dist.compute_windowed(graph, ctx.tail, ctx.e0, ctx.t0, ctx.hi, max_hops - 1);
+  // The head enters with max_hops - 1 remaining hops; the BFS bound equals
+  // that, so reachability alone decides.
+  return dist.dist_to_target(ctx.head) != HcDistScratch::kUnreachable;
+}
+
+void HcWindowedSearch::report_cycle(const HcState& state, EdgeId closing_edge,
+                                    CycleSink* sink,
+                                    std::vector<EdgeId>& edge_scratch) {
+  if (sink == nullptr) {
+    return;
+  }
+  const std::size_t len = state.path_length();
+  edge_scratch.clear();
+  // path_edge(i) is the edge into path_vertex(i); index 0 is the start
+  // vertex, entered by the closing edge.
+  for (std::size_t i = 1; i < len; ++i) {
+    edge_scratch.push_back(state.path_edge(i));
+  }
+  edge_scratch.push_back(closing_edge);
+  sink->on_cycle({state.path_data(), len},
+                 {edge_scratch.data(), edge_scratch.size()});
+}
+
+std::uint64_t HcWindowedSearch::search_from(const TemporalEdge& e0,
+                                            HcState& state,
+                                            HcDistScratch& dist) {
+  state.reset();  // also clears counters: callers accumulate after each search
+  if (!prepare_start(graph_, e0, window_, max_hops_, dist, ctx_)) {
+    return 0;
+  }
+  state_ = &state;
+  dist_ = &dist;
+  found_ = 0;
+  state.push(ctx_.tail, kInvalidEdge);
+  circuit(ctx_.head, e0.id, max_hops_ - 1);
+  return found_;
+}
+
+bool HcWindowedSearch::circuit(VertexId v, EdgeId via_edge, std::int32_t rem) {
+  HcState& st = *state_;
+  st.push(v, via_edge);
+  st.counters.vertices_visited += 1;
+  bool found = false;
+  for (const auto& e : graph_.out_edges_in_window(v, ctx_.t0, ctx_.hi)) {
+    if (e.id <= ctx_.e0) {
+      continue;
+    }
+    st.counters.edges_visited += 1;
+    if (e.dst == ctx_.tail) {
+      if (rem >= 1) {
+        found_ += 1;
+        st.counters.cycles_found += 1;
+        report_cycle(st, e.id, sink_, edge_scratch_);
+        found = true;
+      }
+    } else {
+      const std::int32_t next = rem - 1;
+      if (next >= 1 && next >= dist_->dist_to_target(e.dst) &&
+          st.can_visit(e.dst, next)) {
+        found |= circuit(e.dst, e.id, next);
+      }
+    }
+  }
+  if (found) {
+    st.exit_success(v);
+  } else {
+    st.exit_failure(v, rem);
+  }
+  st.pop();
+  return found;
+}
+
+}  // namespace detail
+
+// ---- public drivers ---------------------------------------------------------
+
+EnumResult hc_simple_cycles(const Digraph& graph, int max_hops,
+                            const EnumOptions& options, CycleSink* sink) {
+  (void)options;  // reserved: BC-DFS has no tunables yet
+  EnumResult result;
+  const VertexId n = graph.num_vertices();
+  if (n == 0 || max_hops < 1) {
+    return result;
+  }
+  detail::HcStaticSearch search(graph, sink);
+  HcState state(n);
+  HcDistScratch dist;
+  dist.init(n);
+  for (VertexId s = 0; s < n; ++s) {
+    if (graph.out_degree(s) == 0) {
+      continue;
+    }
+    if (!dist.compute_static(graph, s, max_hops - 1)) {
+      continue;  // nothing (not even a self-loop) closes back into s
+    }
+    state.reset();
+    result.num_cycles += search.search_from(s, max_hops, state, dist);
+    result.work += state.counters;
+  }
+  return result;
+}
+
+EnumResult hc_windowed_cycles(const TemporalGraph& graph, Timestamp window,
+                              int max_hops, const EnumOptions& options,
+                              CycleSink* sink) {
+  (void)options;
+  EnumResult result;
+  if (graph.num_vertices() == 0 || max_hops < 1) {
+    return result;
+  }
+  detail::HcWindowedSearch search(graph, window, max_hops, sink);
+  HcState state(graph.num_vertices());
+  HcDistScratch dist;
+  dist.init(graph.num_vertices());
+  for (const auto& e0 : graph.edges_by_time()) {
+    if (e0.src == e0.dst) {
+      // A self-loop is a cycle of one hop; it trivially fits any window.
+      result.num_cycles += 1;
+      result.work.cycles_found += 1;
+      if (sink != nullptr) {
+        const VertexId v = e0.src;
+        const EdgeId id = e0.id;
+        sink->on_cycle({&v, 1}, {&id, 1});
+      }
+      continue;
+    }
+    result.num_cycles += search.search_from(e0, state, dist);
+    result.work += state.counters;
+  }
+  return result;
+}
+
+}  // namespace parcycle

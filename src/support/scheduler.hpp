@@ -80,6 +80,17 @@ class Scheduler {
   // Worker index of the calling thread within its scheduler, or -1.
   static int current_worker_id() noexcept;
 
+  // Scoped run: constructs a Scheduler with `num_threads` workers, invokes
+  // fn(sched), and tears the pool down before returning fn's result. Only one
+  // Scheduler may be active per thread (the constructor asserts), so prefer
+  // this helper to a named local wherever consecutive pools are needed —
+  // the lifetime mistake is then unrepresentable.
+  template <typename Fn>
+  static auto with_pool(unsigned num_threads, Fn&& fn) {
+    Scheduler sched(num_threads);
+    return std::forward<Fn>(fn)(sched);
+  }
+
   std::vector<WorkerStats> worker_stats() const;
   void reset_stats();
 

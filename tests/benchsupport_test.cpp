@@ -3,12 +3,98 @@
 #include <sstream>
 
 #include "bench_support/datasets.hpp"
+#include "bench_support/json.hpp"
 #include "bench_support/partition.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
 
 namespace parcycle {
 namespace {
+
+TEST(Json, WriterEmitsStableObjectTree) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.kv("bench", "demo");
+    json.kv("threads", 4u);
+    json.key("rows");
+    json.begin_array();
+    json.begin_object();
+    json.kv("hops", 3);
+    json.kv("seconds", 0.25);
+    json.kv("quoted", "a\"b\\c");
+    json.kv("ok", true);
+    json.end_object();
+    json.end_array();
+    // The destructor closes the root object and appends the newline.
+  }
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"bench\": \"demo\",\n"
+            "  \"threads\": 4,\n"
+            "  \"rows\": [\n"
+            "    {\n"
+            "      \"hops\": 3,\n"
+            "      \"seconds\": 0.25,\n"
+            "      \"quoted\": \"a\\\"b\\\\c\",\n"
+            "      \"ok\": true\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Json, EmptyContainersAndRoundTrippableDoubles) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("empty_array");
+    json.begin_array();
+    json.end_array();
+    json.key("empty_object");
+    json.begin_object();
+    json.end_object();
+    json.kv("third", 1.0 / 3.0);
+  }
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"empty_array\": []"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"empty_object\": {}"), std::string::npos) << text;
+  double parsed = 0.0;
+  const std::size_t pos = text.find("\"third\": ");
+  ASSERT_NE(pos, std::string::npos);
+  std::istringstream(text.substr(pos + 9)) >> parsed;
+  EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+TEST(Runner, HopConstrainedDispatchAgreesAcrossAlgos) {
+  const TemporalGraph graph = build_dataset(dataset_by_name("BA"));
+  const Timestamp window = 400;
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    for (const int hops : {3, 4}) {
+      const auto hc =
+          run_hop_constrained(Algo::kSerialHcDfs, graph, window, hops, sched);
+      for (const Algo algo : {Algo::kFineHcDfs, Algo::kSerialJohnson,
+                              Algo::kFineJohnson, Algo::kSerialReadTarjan}) {
+        const auto other =
+            run_hop_constrained(algo, graph, window, hops, sched);
+        EXPECT_EQ(other.result.num_cycles, hc.result.num_cycles)
+            << algo_name(algo) << " hops=" << hops;
+      }
+    }
+    EXPECT_THROW(run_hop_constrained(Algo::kTwoScent, graph, window, 3, sched),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Json, OutputPathFlagParsing) {
+  const char* argv_with[] = {"bench", "quick", "--json", "/tmp/x.json"};
+  EXPECT_EQ(json_output_path(4, const_cast<char**>(argv_with)), "/tmp/x.json");
+  const char* argv_without[] = {"bench", "quick"};
+  EXPECT_EQ(json_output_path(2, const_cast<char**>(argv_without)), "");
+  const char* argv_dangling[] = {"bench", "--json"};
+  EXPECT_EQ(json_output_path(2, const_cast<char**>(argv_dangling)), "");
+}
 
 TEST(Datasets, RegistryHasAllFifteenTable4Entries) {
   EXPECT_EQ(dataset_registry().size(), 15u);

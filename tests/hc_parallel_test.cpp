@@ -1,0 +1,112 @@
+// Fine-grained parallel BC-DFS correctness: the parallel variant must produce
+// exactly the serial hop-constrained cycle sets under every thread count,
+// spawn policy and state-restoration mode (same generator sweep the
+// core_parallel suite uses for fine-Johnson).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fine_hc_dfs.hpp"
+#include "core/hc_dfs.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+namespace {
+
+TemporalGraph test_graph(std::uint64_t seed) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 30;
+  params.num_edges = 220;
+  params.time_span = 1000;
+  params.attachment = 0.6;
+  params.seed = seed;
+  return scale_free_temporal(params);
+}
+
+class FineHcTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int, bool>> {
+ protected:
+  ParallelOptions parallel_options() const {
+    const auto [threads, policy, naive] = GetParam();
+    ParallelOptions popts;
+    popts.spawn_policy =
+        policy == 0 ? SpawnPolicy::kAlways : SpawnPolicy::kAdaptive;
+    popts.naive_state_restore = naive;
+    return popts;
+  }
+  unsigned threads() const { return std::get<0>(GetParam()); }
+};
+
+TEST_P(FineHcTest, MatchesSerial) {
+  const TemporalGraph g = test_graph(23);
+  const Timestamp window = 200;
+  for (const int hops : {3, 5}) {
+    CollectingSink serial_sink;
+    const auto serial = hc_windowed_cycles(g, window, hops, {}, &serial_sink);
+
+    Scheduler sched(threads());
+    CollectingSink sink;
+    const auto fine = fine_hc_windowed_cycles(g, window, hops, sched, {},
+                                              parallel_options(), &sink);
+    EXPECT_EQ(fine.num_cycles, serial.num_cycles) << "hops=" << hops;
+    EXPECT_EQ(sink.sorted_cycles(), serial_sink.sorted_cycles())
+        << "hops=" << hops;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, FineHcTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(0, 1),  // kAlways, kAdaptive
+                       ::testing::Values(false, true)));
+
+// The figure-4a adversary under a hop bound: every cycle hangs off one
+// starting edge, so stolen tasks carry deep prefixes and the trail repair
+// gets exercised hardest.
+TEST(FineHc, Figure4aAdversary) {
+  const Digraph base = figure4a_graph(12);
+  const TemporalGraph g = with_uniform_timestamps(base, 100, 3);
+  const Timestamp window = 1000;  // everything fits
+  for (const int hops : {4, 8, 12}) {
+    const auto serial = hc_windowed_cycles(g, window, hops);
+    ASSERT_GE(serial.num_cycles, 1u) << "hops=" << hops;
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      Scheduler sched(threads);
+      ParallelOptions popts;
+      popts.spawn_policy = SpawnPolicy::kAlways;  // maximal stealing pressure
+      const auto fine =
+          fine_hc_windowed_cycles(g, window, hops, sched, {}, popts);
+      EXPECT_EQ(fine.num_cycles, serial.num_cycles)
+          << "threads=" << threads << " hops=" << hops;
+    }
+  }
+}
+
+// Repeated stress with spawn-always to shake out copy-on-steal races.
+TEST(FineHc, StealStress) {
+  SplitMix64 seeds(0xbead);
+  for (int trial = 0; trial < 5; ++trial) {
+    const TemporalGraph g = test_graph(seeds.next());
+    const auto serial = hc_windowed_cycles(g, 150, 4);
+    Scheduler sched(8);
+    ParallelOptions popts;
+    popts.spawn_policy = SpawnPolicy::kAlways;
+    const auto fine = fine_hc_windowed_cycles(g, 150, 4, sched, {}, popts);
+    ASSERT_EQ(fine.num_cycles, serial.num_cycles) << "trial " << trial;
+  }
+}
+
+TEST(FineHc, HopSweepAgreesWithSerial) {
+  const TemporalGraph g = test_graph(77);
+  Scheduler sched(4);
+  for (const int hops : {1, 2, 3, 4, 6, 8}) {
+    const auto serial = hc_windowed_cycles(g, 250, hops);
+    const auto fine = fine_hc_windowed_cycles(g, 250, hops, sched);
+    EXPECT_EQ(fine.num_cycles, serial.num_cycles) << "hops=" << hops;
+  }
+}
+
+}  // namespace
+}  // namespace parcycle

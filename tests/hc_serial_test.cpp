@@ -1,0 +1,262 @@
+// Serial hop-constrained BC-DFS correctness: brute-force ground truth on
+// small graphs, and count/set equivalence against the budget-blocked
+// Johnson / Read-Tarjan paths (which this suite is also the first direct
+// ground-truth coverage for).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hc_dfs.hpp"
+#include "core/johnson.hpp"
+#include "core/read_tarjan.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace parcycle {
+namespace {
+
+// Unpruned DFS ground truth: all simple cycles of `g` with at most max_hops
+// edges, rooted at their smallest vertex.
+void brute_static_dfs(const Digraph& g, VertexId start, VertexId v,
+                      std::int32_t rem, std::vector<char>& on_path,
+                      std::uint64_t& count) {
+  for (const VertexId w : g.out_neighbors(v)) {
+    if (w < start) {
+      continue;
+    }
+    if (w == start) {
+      if (rem >= 1) {
+        count += 1;
+      }
+    } else if (rem - 1 >= 1 && !on_path[w]) {
+      on_path[w] = 1;
+      brute_static_dfs(g, start, w, rem - 1, on_path, count);
+      on_path[w] = 0;
+    }
+  }
+}
+
+std::uint64_t brute_static_count(const Digraph& g, int max_hops) {
+  if (max_hops < 1) {
+    return 0;
+  }
+  std::uint64_t count = 0;
+  std::vector<char> on_path(g.num_vertices(), 0);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    on_path[s] = 1;
+    brute_static_dfs(g, s, s, max_hops, on_path, count);
+    on_path[s] = 0;
+  }
+  return count;
+}
+
+// Unpruned ground truth for the windowed task: cycles are edge-identified,
+// rooted at their minimum (timestamp, id) edge, and must fit in the window.
+void brute_windowed_dfs(const TemporalGraph& g, VertexId tail, EdgeId e0,
+                        Timestamp t0, Timestamp hi, VertexId v,
+                        std::int32_t rem, std::vector<char>& on_path,
+                        std::uint64_t& count) {
+  for (const auto& e : g.out_edges_in_window(v, t0, hi)) {
+    if (e.id <= e0) {
+      continue;
+    }
+    if (e.dst == tail) {
+      if (rem >= 1) {
+        count += 1;
+      }
+    } else if (rem - 1 >= 1 && !on_path[e.dst]) {
+      on_path[e.dst] = 1;
+      brute_windowed_dfs(g, tail, e0, t0, hi, e.dst, rem - 1, on_path, count);
+      on_path[e.dst] = 0;
+    }
+  }
+}
+
+std::uint64_t brute_windowed_count(const TemporalGraph& g, Timestamp window,
+                                   int max_hops) {
+  if (max_hops < 1) {
+    return 0;
+  }
+  std::uint64_t count = 0;
+  std::vector<char> on_path(g.num_vertices(), 0);
+  for (const auto& e0 : g.edges_by_time()) {
+    if (e0.src == e0.dst) {
+      count += 1;
+      continue;
+    }
+    if (max_hops < 2) {
+      continue;
+    }
+    on_path[e0.src] = 1;
+    on_path[e0.dst] = 1;
+    brute_windowed_dfs(g, e0.src, e0.id, e0.ts, e0.ts + window, e0.dst,
+                       max_hops - 1, on_path, count);
+    on_path[e0.src] = 0;
+    on_path[e0.dst] = 0;
+  }
+  return count;
+}
+
+TemporalGraph windowed_test_graph(std::uint64_t seed) {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 30;
+  params.num_edges = 220;
+  params.time_span = 1000;
+  params.attachment = 0.6;
+  params.seed = seed;
+  return scale_free_temporal(params);
+}
+
+// --- static, brute-force ground truth ----------------------------------------
+
+TEST(HcSerial, BruteForceSmallRandomGraphs) {
+  SplitMix64 seeds(0x5eed);
+  for (int trial = 0; trial < 6; ++trial) {
+    const VertexId n = 5 + trial % 4;  // 5..8 vertices
+    const Digraph g = erdos_renyi(n, 3 * n, seeds.next());
+    for (int k = 2; k <= 6; ++k) {
+      const auto hc = hc_simple_cycles(g, k);
+      EXPECT_EQ(hc.num_cycles, brute_static_count(g, k))
+          << "trial=" << trial << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(HcSerial, BruteForceStructuredGraphs) {
+  const Digraph complete = complete_digraph(6);
+  for (int k = 2; k <= 6; ++k) {
+    EXPECT_EQ(hc_simple_cycles(complete, k).num_cycles,
+              brute_static_count(complete, k))
+        << "k=" << k;
+  }
+  const Digraph fig4a = figure4a_graph(8);
+  for (int k = 2; k <= 6; ++k) {
+    EXPECT_EQ(hc_simple_cycles(fig4a, k).num_cycles,
+              brute_static_count(fig4a, k))
+        << "k=" << k;
+  }
+}
+
+TEST(HcSerial, DirectedRingAndDag) {
+  const Digraph ring = directed_ring(7);
+  EXPECT_EQ(hc_simple_cycles(ring, 6).num_cycles, 0u);
+  EXPECT_EQ(hc_simple_cycles(ring, 7).num_cycles, 1u);
+  EXPECT_EQ(hc_simple_cycles(ring, 20).num_cycles, 1u);
+
+  const Digraph dag = random_dag(12, 0.4, 99);
+  for (int k = 2; k <= 8; ++k) {
+    EXPECT_EQ(hc_simple_cycles(dag, k).num_cycles, 0u);
+  }
+}
+
+TEST(HcSerial, SelfLoopsAndDegenerateBounds) {
+  // 0 -> 0 self-loop plus a 2-cycle 1 <-> 2.
+  const Digraph g(3, {{0, 0}, {1, 2}, {2, 1}}, /*dedup=*/false);
+  EXPECT_EQ(hc_simple_cycles(g, 0).num_cycles, 0u);
+  EXPECT_EQ(hc_simple_cycles(g, 1).num_cycles, 1u);  // just the self-loop
+  EXPECT_EQ(hc_simple_cycles(g, 2).num_cycles, 2u);
+  EXPECT_EQ(hc_simple_cycles(Digraph(), 4).num_cycles, 0u);
+}
+
+// The hop bound prunes with the bounded reverse BFS, so a long ring costs
+// O(1) edge visits per start instead of the budget-blocked Johnson's O(k).
+TEST(HcSerial, DistancePruningBeatsBudgetBlocking) {
+  const Digraph ring = directed_ring(50);
+  EnumOptions budget;
+  budget.max_cycle_length = 3;
+  const auto johnson = johnson_simple_cycles(ring, budget);
+  const auto hc = hc_simple_cycles(ring, 3);
+  EXPECT_EQ(hc.num_cycles, johnson.num_cycles);
+  EXPECT_LT(hc.work.edges_visited, johnson.work.edges_visited);
+}
+
+// --- static, budget-blocked Johnson / Read-Tarjan equivalence ----------------
+
+TEST(HcSerial, MatchesBudgetBlockedStaticPaths) {
+  SplitMix64 seeds(0xabcd);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Digraph g = erdos_renyi(12, 40, seeds.next());
+    for (int k = 2; k <= 6; ++k) {
+      EnumOptions budget;
+      budget.max_cycle_length = k;
+      CollectingSink hc_sink;
+      CollectingSink j_sink;
+      CollectingSink rt_sink;
+      const auto hc = hc_simple_cycles(g, k, {}, &hc_sink);
+      const auto johnson = johnson_simple_cycles(g, budget, &j_sink);
+      const auto rt = read_tarjan_simple_cycles(g, budget, &rt_sink);
+      EXPECT_EQ(hc.num_cycles, johnson.num_cycles) << "k=" << k;
+      EXPECT_EQ(hc.num_cycles, rt.num_cycles) << "k=" << k;
+      EXPECT_EQ(hc_sink.sorted_cycles(), j_sink.sorted_cycles()) << "k=" << k;
+      EXPECT_EQ(hc_sink.sorted_cycles(), rt_sink.sorted_cycles()) << "k=" << k;
+    }
+  }
+}
+
+TEST(HcSerial, UnboundedHopsMatchesUnboundedJohnson) {
+  const Digraph g = erdos_renyi(10, 35, 7);
+  const auto unbounded = johnson_simple_cycles(g);
+  const auto hc = hc_simple_cycles(g, static_cast<int>(g.num_vertices()));
+  EXPECT_EQ(hc.num_cycles, unbounded.num_cycles);
+}
+
+// --- windowed ----------------------------------------------------------------
+
+TEST(HcSerial, WindowedBruteForce) {
+  SplitMix64 seeds(0x717);
+  for (int trial = 0; trial < 3; ++trial) {
+    ScaleFreeTemporalParams params;
+    params.num_vertices = 8;
+    params.num_edges = 40;
+    params.time_span = 100;
+    params.seed = seeds.next();
+    const TemporalGraph g = scale_free_temporal(params);
+    for (const Timestamp window : {10, 40, 100}) {
+      for (int k = 2; k <= 6; ++k) {
+        EXPECT_EQ(hc_windowed_cycles(g, window, k).num_cycles,
+                  brute_windowed_count(g, window, k))
+            << "trial=" << trial << " window=" << window << " k=" << k;
+      }
+    }
+  }
+}
+
+// This is also the first ground-truth coverage for max_cycle_length budget
+// blocking in the windowed Johnson / Read-Tarjan searches.
+TEST(HcSerial, MatchesBudgetBlockedWindowedPaths) {
+  const TemporalGraph g = windowed_test_graph(23);
+  for (const Timestamp window : {100, 200, 300}) {
+    for (const int k : {2, 3, 4, 6}) {
+      EnumOptions budget;
+      budget.max_cycle_length = k;
+      CollectingSink hc_sink;
+      CollectingSink j_sink;
+      CollectingSink rt_sink;
+      const auto hc = hc_windowed_cycles(g, window, k, {}, &hc_sink);
+      const auto johnson = johnson_windowed_cycles(g, window, budget, &j_sink);
+      const auto rt =
+          read_tarjan_windowed_cycles(g, window, budget, &rt_sink);
+      EXPECT_EQ(hc.num_cycles, johnson.num_cycles)
+          << "window=" << window << " k=" << k;
+      EXPECT_EQ(hc.num_cycles, rt.num_cycles)
+          << "window=" << window << " k=" << k;
+      EXPECT_EQ(hc_sink.sorted_cycles(), j_sink.sorted_cycles())
+          << "window=" << window << " k=" << k;
+      EXPECT_EQ(hc_sink.sorted_cycles(), rt_sink.sorted_cycles())
+          << "window=" << window << " k=" << k;
+    }
+  }
+}
+
+TEST(HcSerial, WindowedUnboundedHopsMatchesJohnson) {
+  const TemporalGraph g = windowed_test_graph(51);
+  const Timestamp window = 200;
+  const auto unbounded = johnson_windowed_cycles(g, window);
+  const auto hc = hc_windowed_cycles(
+      g, window, static_cast<int>(g.num_vertices()) + 1);
+  EXPECT_EQ(hc.num_cycles, unbounded.num_cycles);
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -156,6 +156,29 @@ TEST(Scheduler, CurrentIsScopedToWorkers) {
   EXPECT_EQ(Scheduler::current(), nullptr);
 }
 
+TEST(Scheduler, WithPoolScopesTheSchedulerAndReturnsTheResult) {
+  // Consecutive pools on one thread: the scoped helper makes the
+  // one-scheduler-per-thread lifetime rule impossible to violate.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const int result = Scheduler::with_pool(threads, [&](Scheduler& sched) {
+      EXPECT_EQ(Scheduler::current(), &sched);
+      EXPECT_EQ(sched.num_workers(), threads);
+      std::atomic<int> counter{0};
+      TaskGroup group(sched);
+      for (int i = 0; i < 16; ++i) {
+        group.spawn([&counter] { counter.fetch_add(1); });
+      }
+      group.wait();
+      return counter.load();
+    });
+    EXPECT_EQ(result, 16);
+    EXPECT_EQ(Scheduler::current(), nullptr);
+  }
+  // Void-returning bodies work too.
+  Scheduler::with_pool(2, [](Scheduler& sched) { (void)sched; });
+  EXPECT_EQ(Scheduler::current(), nullptr);
+}
+
 TEST(Scheduler, ManySmallGroupsSequentially) {
   Scheduler sched(4);
   for (int round = 0; round < 200; ++round) {

@@ -10,6 +10,7 @@
 #include "support/chase_lev_deque.hpp"
 #include "support/dynamic_bitset.hpp"
 #include "support/scheduler.hpp"
+#include "support/task_slab.hpp"
 
 namespace parcycle {
 namespace {
@@ -40,6 +41,83 @@ void BM_SchedulerForkJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_SchedulerForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+// Spawn/execute throughput of empty tasks across the two spawn paths: the
+// slab path with transition timing (current default) vs the pre-slab path
+// (operator new per task, two clock reads per task). Arg 0 is the worker
+// count, arg 1 selects the path (0 = legacy heap+per-task-timing, 1 = slab).
+void BM_SpawnThroughput(benchmark::State& state) {
+  SchedulerOptions options;
+  if (state.range(1) == 0) {
+    options.use_task_slab = false;
+    options.timing = TimingMode::kPerTask;
+  }
+  Scheduler sched(static_cast<unsigned>(state.range(0)), options);
+  for (auto _ : state) {
+    TaskGroup group(sched);
+    for (int i = 0; i < 1024; ++i) {
+      group.spawn([] {});
+    }
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(state.range(1) == 0 ? "legacy(new+per-task-clock)"
+                                     : "slab(default)");
+}
+BENCHMARK(BM_SpawnThroughput)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}});
+
+// The allocation component alone: slab acquire/release against the operator
+// new/delete pair every spawned task used to pay.
+void BM_TaskSlabAcquireRelease(benchmark::State& state) {
+  TaskSlab slab;
+  void* blocks[64];
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      blocks[i] = slab.acquire();
+      benchmark::DoNotOptimize(blocks[i]);
+    }
+    for (int i = 64; i-- > 0;) {
+      slab.release_local(blocks[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_TaskSlabAcquireRelease);
+
+void BM_TaskHeapNewDelete(benchmark::State& state) {
+  void* blocks[64];
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      blocks[i] = ::operator new(kTaskSlabBlockSize);
+      benchmark::DoNotOptimize(blocks[i]);
+    }
+    for (int i = 64; i-- > 0;) {
+      ::operator delete(blocks[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_TaskHeapNewDelete);
+
+// The return-list protocol cost (CAS push + exchange drain) measured
+// single-threaded: an uncontended lower bound for the steal path. True
+// cross-core cost adds cache-line migration on top; the scheduler-level
+// CrossWorkerFreeStress test exercises that path for correctness.
+void BM_TaskSlabRemoteReturn(benchmark::State& state) {
+  TaskSlab slab;
+  void* blocks[64];
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      blocks[i] = slab.acquire();
+    }
+    for (int i = 64; i-- > 0;) {
+      slab.release_remote(blocks[i]);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_TaskSlabRemoteReturn);
 
 void BM_BitsetSetTest(benchmark::State& state) {
   DynamicBitset bits(100000);

@@ -9,6 +9,7 @@
 #include "core/hc_dfs.hpp"
 #include "core/hc_state.hpp"
 #include "core/johnson_state.hpp"  // ScratchPool
+#include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 
 namespace parcycle {
@@ -36,7 +37,8 @@ struct FineHcRun {
           auto scratch = std::make_unique<HcDistScratch>();
           scratch->init(n);
           return scratch;
-        }) {}
+        }),
+        counter_sinks(sched_) {}
 
   const TemporalGraph& graph;
   Timestamp window;
@@ -49,13 +51,11 @@ struct FineHcRun {
   ScratchPool<HcState> state_pool;
   ScratchPool<HcDistScratch> dist_pool;
 
-  Spinlock result_lock;
-  EnumResult result;
+  // Per-worker sinks, summed once after the run's final wait.
+  PerWorkerCounters counter_sinks;
 
   void merge_counters(const WorkCounters& counters) {
-    LockGuard<Spinlock> guard(result_lock);
-    result.num_cycles += counters.cycles_found;
-    result.work += counters;
+    counter_sinks.merge(counters);
   }
 
   bool should_spawn() const {
@@ -138,6 +138,10 @@ struct HcChildTask {
     }
   }
 };
+
+// Spawning an HcChildTask must stay on the zero-allocation slab path.
+static_assert(spawn_uses_slab_v<HcChildTask>,
+              "HcChildTask outgrew the scheduler's task-slab block");
 
 bool fine_circuit(HcSearchContext& search, HcState& st, VertexId v,
                   EdgeId via_edge, std::int32_t rem) {
@@ -267,7 +271,10 @@ EnumResult fine_hc_windowed_cycles(const TemporalGraph& graph,
       std::max<std::size_t>(std::size_t{32} * sched.num_workers(), 1);
   parallel_for_chunked(sched, 0, edges.size(), num_chunks,
                        [&](std::size_t i) { search_root(run, edges[i]); });
-  return run.result;
+  EnumResult result;
+  result.work = run.counter_sinks.total();
+  result.num_cycles = result.work.cycles_found;
+  return result;
 }
 
 }  // namespace parcycle

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/johnson_impl.hpp"
+#include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 
 namespace parcycle {
@@ -40,7 +41,8 @@ struct FineJohnsonRun {
           auto scratch = std::make_unique<CycleUnionScratch>();
           scratch->init(n);
           return scratch;
-        }) {}
+        }),
+        counter_sinks(sched_) {}
 
   const TemporalGraph& graph;
   Timestamp window;
@@ -53,13 +55,11 @@ struct FineJohnsonRun {
   ScratchPool<JohnsonState> state_pool;
   ScratchPool<CycleUnionScratch> union_pool;
 
-  Spinlock result_lock;
-  EnumResult result;
+  // Per-worker sinks, summed once after the run's final wait.
+  PerWorkerCounters counter_sinks;
 
   void merge_counters(const WorkCounters& counters) {
-    LockGuard<Spinlock> guard(result_lock);
-    result.num_cycles += counters.cycles_found;
-    result.work += counters;
+    counter_sinks.merge(counters);
   }
 
   bool should_spawn() const {
@@ -140,6 +140,10 @@ struct ChildTask {
     }
   }
 };
+
+// Spawning a ChildTask must stay on the zero-allocation slab path.
+static_assert(spawn_uses_slab_v<ChildTask>,
+              "ChildTask outgrew the scheduler's task-slab block");
 
 bool fine_circuit(SearchContext& search, JohnsonState& st, VertexId v,
                   EdgeId via_edge, std::int32_t rem) {
@@ -274,7 +278,10 @@ EnumResult fine_johnson_windowed_cycles(const TemporalGraph& graph,
       std::max<std::size_t>(std::size_t{32} * sched.num_workers(), 1);
   parallel_for_chunked(sched, 0, edges.size(), num_chunks,
                        [&](std::size_t i) { search_root(run, edges[i]); });
-  return run.result;
+  EnumResult result;
+  result.work = run.counter_sinks.total();
+  result.num_cycles = result.work.cycles_found;
+  return result;
 }
 
 }  // namespace parcycle

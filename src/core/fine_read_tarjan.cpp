@@ -7,7 +7,7 @@
 
 #include "core/johnson_impl.hpp"  // prepare_start
 #include "core/read_tarjan_impl.hpp"
-#include "support/spinlock.hpp"
+#include "support/counter_sink.hpp"
 
 namespace parcycle {
 
@@ -30,7 +30,8 @@ struct FineRTRun {
           auto scratch = std::make_unique<CycleUnionScratch>();
           scratch->init(n);
           return scratch;
-        }) {}
+        }),
+        counter_sinks(sched_) {}
 
   const TemporalGraph& graph;
   Timestamp window;
@@ -42,13 +43,11 @@ struct FineRTRun {
   ScratchPool<ReadTarjanState> state_pool;
   ScratchPool<CycleUnionScratch> union_pool;
 
-  Spinlock result_lock;
-  EnumResult result;
+  // Per-worker sinks, summed once after the run's final wait.
+  PerWorkerCounters counter_sinks;
 
   void merge_counters(const WorkCounters& counters) {
-    LockGuard<Spinlock> guard(result_lock);
-    result.num_cycles += counters.cycles_found;
-    result.work += counters;
+    counter_sinks.merge(counters);
   }
 
   bool should_spawn() const {
@@ -101,6 +100,10 @@ struct RTTask {
     run.state_pool.release(std::move(owned));
   }
 };
+
+// Spawning an RTTask must stay on the zero-allocation slab path.
+static_assert(spawn_uses_slab_v<RTTask>,
+              "RTTask outgrew the scheduler's task-slab block");
 
 // Executes one Read-Tarjan call: rewinds the state to the child's prefix,
 // walks its extension (reporting the cycle and collecting alternates), then
@@ -210,7 +213,10 @@ EnumResult fine_read_tarjan_windowed_cycles(const TemporalGraph& graph,
       std::max<std::size_t>(std::size_t{32} * sched.num_workers(), 1);
   parallel_for_chunked(sched, 0, edges.size(), num_chunks,
                        [&](std::size_t i) { search_root(run, edges[i]); });
-  return run.result;
+  EnumResult result;
+  result.work = run.counter_sinks.total();
+  result.num_cycles = result.work.cycles_found;
+  return result;
 }
 
 }  // namespace parcycle

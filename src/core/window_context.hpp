@@ -45,6 +45,7 @@ class CycleUnionScratch {
     fwd_stamp_.assign(n, 0);
     bwd_stamp_.assign(n, 0);
     epoch_ = 0;
+    last_union_size_ = 0;
   }
 
   // Computes the cycle-union for `ctx` over admissible edges. Returns false
@@ -52,6 +53,7 @@ class CycleUnionScratch {
   // whole search can be skipped).
   bool compute(const TemporalGraph& graph, const StartContext& ctx) {
     epoch_ += 1;
+    last_union_size_ = 0;
     // Forward pass from the head over admissible out-edges.
     queue_.clear();
     fwd_stamp_[ctx.head] = epoch_;
@@ -83,6 +85,9 @@ class CycleUnionScratch {
         }
       }
     }
+    // The backward queue holds each union vertex exactly once, so its length
+    // is the union size — no O(n) stamp rescan.
+    last_union_size_ = queue_.size();
     return true;
   }
 
@@ -90,19 +95,15 @@ class CycleUnionScratch {
     return bwd_stamp_[v] == epoch_;
   }
 
-  // Number of vertices in the last computed union (diagnostics).
-  std::size_t last_union_size() const noexcept {
-    std::size_t n = 0;
-    for (const auto stamp : bwd_stamp_) {
-      n += (stamp == epoch_);
-    }
-    return n;
-  }
+  // Number of vertices in the last computed union (diagnostics); 0 after a
+  // compute() that returned false.
+  std::size_t last_union_size() const noexcept { return last_union_size_; }
 
  private:
   std::vector<std::uint32_t> fwd_stamp_;
   std::vector<std::uint32_t> bwd_stamp_;
   std::uint32_t epoch_ = 0;
+  std::size_t last_union_size_ = 0;
   std::vector<VertexId> queue_;
 };
 

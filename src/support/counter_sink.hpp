@@ -1,0 +1,52 @@
+// Per-worker WorkCounters sinks.
+//
+// The fine-grained enumerators merge a WorkCounters batch every time a pooled
+// state is released — once per stolen task and once per starting edge. Behind
+// a shared spinlock that merge serialises every worker on one cache line at
+// exactly the rate the fine-grained decomposition spawns tasks. Instead,
+// each worker owns a cache-line-aligned sink it merges into without any
+// synchronisation; the driver sums the sinks once after the run's final
+// TaskGroup::wait (whose acquire on the pending counter orders every task's
+// writes before the read).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "support/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace parcycle {
+
+class PerWorkerCounters {
+ public:
+  explicit PerWorkerCounters(const Scheduler& sched)
+      : sinks_(sched.num_workers()) {}
+
+  // Called from worker threads of the scheduler: lock-free, each worker
+  // writes only its own line.
+  void merge(const WorkCounters& counters) {
+    const int worker = Scheduler::current_worker_id();
+    assert(worker >= 0 && static_cast<std::size_t>(worker) < sinks_.size() &&
+           "merge() must run on a worker thread of the bound scheduler");
+    sinks_[static_cast<std::size_t>(worker)].counters += counters;
+  }
+
+  // Single-threaded; call after the run's final wait() returned.
+  WorkCounters total() const {
+    WorkCounters out;
+    for (const auto& sink : sinks_) {
+      out += sink.counters;
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Sink {
+    WorkCounters counters;
+  };
+  std::vector<Sink> sinks_;
+};
+
+}  // namespace parcycle

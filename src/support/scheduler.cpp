@@ -29,8 +29,8 @@ Scheduler* Scheduler::current() noexcept { return tl_scheduler; }
 
 int Scheduler::current_worker_id() noexcept { return tl_worker_id; }
 
-Scheduler::Scheduler(unsigned num_threads)
-    : num_workers_(num_threads == 0 ? 1 : num_threads) {
+Scheduler::Scheduler(unsigned num_threads, SchedulerOptions options)
+    : num_workers_(num_threads == 0 ? 1 : num_threads), options_(options) {
   assert(tl_scheduler == nullptr &&
          "nested schedulers on one thread are not supported");
   slots_.reserve(num_workers_);
@@ -58,6 +58,7 @@ Scheduler::~Scheduler() {
   for (auto& thread : threads_) {
     thread.join();
   }
+  note_idle(0);  // close worker 0's busy interval, if any
   tl_scheduler = nullptr;
   tl_worker_id = -1;
   // All groups must have been waited on before destruction; any task still in
@@ -77,6 +78,7 @@ void Scheduler::worker_main(unsigned worker_id) {
       execute(task, worker_id);
       continue;
     }
+    note_idle(worker_id);
     // Park until new work is announced. The epoch/counter protocol below
     // avoids lost wakeups; the timed wait is belt-and-braces.
     const std::uint64_t epoch = wake_epoch_.load(std::memory_order_acquire);
@@ -96,25 +98,78 @@ void Scheduler::worker_main(unsigned worker_id) {
     }
     num_sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
+  note_idle(worker_id);
   tl_scheduler = nullptr;
   tl_worker_id = -1;
+}
+
+void Scheduler::begin_busy(WorkerSlot& slot) {
+  if (options_.timing == TimingMode::kTransitions &&
+      !slot.busy_open.load(std::memory_order_relaxed)) {
+    slot.busy_since_ns.store(now_ns(), std::memory_order_relaxed);
+    // Release pairs with the acquire in worker_stats(): a reader that sees
+    // the interval open also sees its start time.
+    slot.busy_open.store(true, std::memory_order_release);
+  }
+}
+
+void Scheduler::note_idle(unsigned worker_id) {
+  WorkerSlot& slot = *slots_[worker_id];
+  if (slot.busy_open.load(std::memory_order_relaxed)) {
+    slot.busy_ns.fetch_add(
+        now_ns() - slot.busy_since_ns.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    slot.busy_open.store(false, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::end_wait(unsigned worker_id) {
+  WorkerSlot& slot = *slots_[worker_id];
+  if (slot.task_depth > 0) {
+    // The wait was nested inside a task body (the fine-grained enumerators
+    // wait at every recursion level): the work that follows it — e.g.
+    // Johnson's exit critical section — is task time, so reopen the interval
+    // if an idle spin inside the wait closed it. No clock read happens on
+    // the common path where the interval never closed.
+    begin_busy(slot);
+  } else {
+    // Outermost wait: the caller is back in sequential code, which
+    // transition timing counts as idle.
+    note_idle(worker_id);
+  }
 }
 
 void Scheduler::execute(detail::TaskBase* task, unsigned worker_id) {
   WorkerSlot& slot = *slots_[worker_id];
   slot.stats.tasks_executed += 1;
-  if (task->creator_worker != worker_id) {
+  const std::uint32_t creator = task->creator_worker;
+  if (creator != worker_id) {
     slot.stats.tasks_stolen += 1;
   }
   TaskGroup* group = task->group;
-  const std::uint64_t t0 = now_ns();
+  const bool from_slab = task->from_slab;
+  // Default (kTransitions) timing touches no clock here: the busy interval
+  // opened on the worker's first task stays open across back-to-back tasks
+  // and is closed by note_idle when the worker runs out of work.
+  begin_busy(slot);
+  slot.task_depth += 1;
+  const bool per_task_timing = options_.timing == TimingMode::kPerTask;
+  const std::uint64_t t0 = per_task_timing ? now_ns() : 0;
   try {
     task->run();
   } catch (...) {
     group->record_exception(std::current_exception());
   }
-  slot.stats.busy_ns += now_ns() - t0;
-  delete task;
+  slot.task_depth -= 1;
+  if (per_task_timing) {
+    slot.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  }
+  if (from_slab) {
+    task->~TaskBase();
+    release_task_block(task, creator, worker_id);
+  } else {
+    delete task;
+  }
   group->pending_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
@@ -160,6 +215,36 @@ void Scheduler::push_task(detail::TaskBase* task) {
   wake_workers();
 }
 
+void* Scheduler::acquire_task_block() {
+  const int worker = tl_worker_id;
+  assert(tl_scheduler == this && worker >= 0 &&
+         "tasks must be spawned from a worker thread of this scheduler");
+  return slots_[static_cast<unsigned>(worker)]->slab.acquire();
+}
+
+void Scheduler::release_unused_task_block(void* block) {
+  const int worker = tl_worker_id;
+  assert(tl_scheduler == this && worker >= 0);
+  slots_[static_cast<unsigned>(worker)]->slab.release_local(block);
+}
+
+void Scheduler::note_heap_task() {
+  const int worker = tl_worker_id;
+  assert(tl_scheduler == this && worker >= 0 &&
+         "tasks must be spawned from a worker thread of this scheduler");
+  slots_[static_cast<unsigned>(worker)]->stats.tasks_heap_allocated += 1;
+}
+
+void Scheduler::release_task_block(void* block, std::uint32_t creator_worker,
+                                   unsigned executing_worker) {
+  TaskSlab& slab = slots_[creator_worker]->slab;
+  if (creator_worker == executing_worker) {
+    slab.release_local(block);
+  } else {
+    slab.release_remote(block);
+  }
+}
+
 void Scheduler::wake_workers() {
   // Pairs with the seq_cst increment of num_sleepers_ in worker_main: either
   // the sleeper sees our push in its re-check, or we see its increment here.
@@ -180,14 +265,47 @@ std::vector<WorkerStats> Scheduler::worker_stats() const {
   out.reserve(num_workers_);
   for (const auto& slot : slots_) {
     out.push_back(slot->stats);
+    std::uint64_t busy = slot->busy_ns.load(std::memory_order_relaxed);
+    // Fold in a still-open interval: a worker that stayed saturated for the
+    // whole run may not have transitioned to idle yet when the caller
+    // returns from wait(), and its whole busy time would otherwise be
+    // missing from the snapshot. Approximate under concurrent transitions,
+    // exact when quiescent.
+    if (slot->busy_open.load(std::memory_order_acquire)) {
+      const std::uint64_t since =
+          slot->busy_since_ns.load(std::memory_order_relaxed);
+      const std::uint64_t now = now_ns();
+      busy += now > since ? now - since : 0;
+    }
+    out.back().busy_ns = busy;
   }
   return out;
 }
 
 void Scheduler::reset_stats() {
+  const std::uint64_t now = now_ns();
   for (auto& slot : slots_) {
     slot->stats = WorkerStats{};
+    slot->busy_ns.store(0, std::memory_order_relaxed);
+    // A worker saturated through the end of the previous run may still have
+    // its busy interval open (it closes at the next failed find). Rebase the
+    // interval's start so the eventual note_idle folds only post-reset time
+    // into the fresh counters, not the previous run's whole span. The
+    // rebase can race the owner's own fold; the error is then bounded by
+    // the reset-to-idle gap, which the quiescent-call contract tolerates.
+    if (slot->busy_open.load(std::memory_order_relaxed)) {
+      slot->busy_since_ns.store(now, std::memory_order_relaxed);
+    }
   }
+}
+
+std::vector<TaskSlabStats> Scheduler::slab_stats() const {
+  std::vector<TaskSlabStats> out;
+  out.reserve(num_workers_);
+  for (const auto& slot : slots_) {
+    out.push_back(slot->slab.stats());
+  }
+  return out;
 }
 
 std::int64_t Scheduler::local_queue_size() const noexcept {
@@ -216,12 +334,14 @@ void TaskGroup::wait() {
       idle_spins = 0;
       continue;
     }
+    sched_.note_idle(worker_id);
     // The remaining tasks of this group are executing on other workers; back
     // off politely while they finish.
     if (++idle_spins > 64) {
       std::this_thread::yield();
     }
   }
+  sched_.end_wait(worker_id);
   if (has_exception_.load(std::memory_order_acquire)) {
     std::exception_ptr to_throw;
     {

@@ -12,6 +12,14 @@
 // never blocks the thread: it keeps executing pending tasks (its own first,
 // stolen ones otherwise) until every task spawned into the group has
 // completed, exactly like tbb::task_group::wait().
+//
+// The spawn/execute hot path is allocation-free in steady state: task objects
+// live in per-worker TaskSlab blocks (task_slab.hpp), recycled via the owning
+// worker's freelist and an MPSC return list for cross-worker frees. Closures
+// too large for a slab block fall back to operator new (counted in
+// WorkerStats::tasks_heap_allocated); the fine-grained enumerators
+// static_assert spawn_uses_slab_v for their task types so that fallback can
+// never silently reappear on the paths the paper measures.
 #pragma once
 
 #include <atomic>
@@ -22,11 +30,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "support/chase_lev_deque.hpp"
 #include "support/spinlock.hpp"
+#include "support/task_slab.hpp"
 
 namespace parcycle {
 
@@ -41,8 +51,13 @@ struct TaskBase {
 
   TaskGroup* group = nullptr;
   // Worker that spawned the task; compared against the executing worker to
-  // detect steals (the algorithms' copy-on-steal hook).
+  // detect steals (the algorithms' copy-on-steal hook) and to return slab
+  // blocks to the slab that issued them.
   std::uint32_t creator_worker = 0;
+  // Allocated from the creator's TaskSlab (the steady-state path) rather
+  // than the heap (oversized closures, or SchedulerOptions::use_task_slab
+  // disabled for A/B measurement).
+  bool from_slab = false;
 };
 
 template <typename F>
@@ -52,7 +67,42 @@ struct ClosureTask final : TaskBase {
   F fn;
 };
 
+template <typename T>
+inline constexpr bool task_fits_slab_v =
+    sizeof(T) <= kTaskSlabBlockSize && alignof(T) <= kTaskSlabBlockAlign;
+
 }  // namespace detail
+
+// True when spawning a closure of type F takes the zero-allocation slab path.
+// The fine-grained enumerators static_assert this for their task types: a
+// task outgrowing the slab block is a perf bug that should fail the build,
+// not silently fall back to operator new.
+template <typename F>
+inline constexpr bool spawn_uses_slab_v =
+    detail::task_fits_slab_v<detail::ClosureTask<std::decay_t<F>>>;
+
+// How WorkerStats::busy_ns is accounted.
+enum class TimingMode : std::uint8_t {
+  // Timestamp only when a worker transitions between finding work and going
+  // idle. Zero clock reads per task: an enumeration spawning millions of
+  // fine-grained tasks pays a handful of clock syscalls per worker. busy_ns
+  // then includes the scheduling gaps between back-to-back tasks, which is
+  // the per-thread utilisation bench_fig1_load_balance plots.
+  kTransitions,
+  // Two steady_clock reads around every task body: exact per-task busy time,
+  // at per-task cost (the pre-slab scheduler's behaviour).
+  kPerTask,
+  // No busy-time accounting at all; busy_ns stays 0.
+  kOff,
+};
+
+struct SchedulerOptions {
+  TimingMode timing = TimingMode::kTransitions;
+  // Allocate task objects from per-worker slabs. Disabling falls back to
+  // operator new/delete per task — only useful for measuring the slab's
+  // effect (bench_micro spawn-throughput) and as a bisection escape hatch.
+  bool use_task_slab = true;
+};
 
 // Per-worker execution statistics; used by the Figure 1 reproduction
 // (per-thread busy time) and by scheduler tests.
@@ -60,14 +110,15 @@ struct WorkerStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t tasks_spawned = 0;
   std::uint64_t tasks_stolen = 0;  // tasks acquired from another worker's deque
-  std::uint64_t busy_ns = 0;       // wall time spent inside task bodies
+  std::uint64_t busy_ns = 0;       // wall time spent executing (see TimingMode)
+  std::uint64_t tasks_heap_allocated = 0;  // spawns that bypassed the slab
 };
 
 class Scheduler {
  public:
   // Spawns `num_threads - 1` additional worker threads; the calling thread is
   // registered as worker 0. Only one Scheduler may be active per thread.
-  explicit Scheduler(unsigned num_threads);
+  explicit Scheduler(unsigned num_threads, SchedulerOptions options = {});
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -94,6 +145,9 @@ class Scheduler {
   std::vector<WorkerStats> worker_stats() const;
   void reset_stats();
 
+  // Per-worker task-slab counters (read while quiescent, like worker_stats).
+  std::vector<TaskSlabStats> slab_stats() const;
+
   // Approximate number of tasks waiting in the calling worker's deque. The
   // fine-grained algorithms use this for adaptive task granularity: spawning
   // is pointless when the deque already holds plenty of stealable work.
@@ -104,8 +158,24 @@ class Scheduler {
 
   struct alignas(64) WorkerSlot {
     ChaseLevDeque<detail::TaskBase*> deque;
+    TaskSlab slab;
     WorkerStats stats;
+    // Accumulated busy time lives outside `stats`: transition timing folds a
+    // busy interval in when the worker goes idle, which can race a stats
+    // reader that returned from wait() a moment earlier — so this one field
+    // is a (relaxed) atomic, merged into WorkerStats by worker_stats().
+    std::atomic<std::uint64_t> busy_ns{0};
     std::uint64_t steal_seed = 0;
+    // TimingMode::kTransitions bookkeeping: the open busy interval. Written
+    // only by the owning worker; atomics (relaxed writes, release on the
+    // open flag) let worker_stats() fold a still-open interval into its
+    // snapshot instead of reporting a saturated worker as idle.
+    std::atomic<std::uint64_t> busy_since_ns{0};
+    std::atomic<bool> busy_open{false};
+    // How deeply nested in task bodies this worker currently is (waits nest
+    // inside tasks in the fine-grained enumerators; only the outermost wait
+    // returns to sequential code). Worker-private.
+    std::uint32_t task_depth = 0;
   };
 
   void worker_main(unsigned worker_id);
@@ -115,7 +185,25 @@ class Scheduler {
   void push_task(detail::TaskBase* task);
   void wake_workers();
 
+  // Spawn-side slab hooks (called from TaskGroup::spawn on a worker thread).
+  void* acquire_task_block();
+  void release_unused_task_block(void* block);
+  void note_heap_task();
+  bool uses_slab() const noexcept { return options_.use_task_slab; }
+  // Return a finished task's block to the slab that issued it.
+  void release_task_block(void* block, std::uint32_t creator_worker,
+                          unsigned executing_worker);
+
+  // Transition-mode timing: open the busy interval on the first executed
+  // task, close it when the worker runs out of work.
+  void begin_busy(WorkerSlot& slot);
+  void note_idle(unsigned worker_id);
+  // Wait-exit hook: back inside a task body the interval resumes; back in
+  // sequential caller code it closes.
+  void end_wait(unsigned worker_id);
+
   unsigned num_workers_;
+  SchedulerOptions options_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> threads_;
 
@@ -139,11 +227,39 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   // Spawns fn as an independently schedulable task. Must be called from a
-  // worker thread of the bound scheduler.
+  // worker thread of the bound scheduler. Steady state allocates nothing:
+  // the task object is placement-constructed in a block from the calling
+  // worker's slab and the block is recycled when the task finishes.
   template <typename F>
   void spawn(F&& fn) {
+    using Task = detail::ClosureTask<std::decay_t<F>>;
     pending_.fetch_add(1, std::memory_order_acq_rel);
-    auto* task = new detail::ClosureTask<std::decay_t<F>>(std::forward<F>(fn));
+    Task* task;
+    try {
+      if constexpr (detail::task_fits_slab_v<Task>) {
+        if (sched_.uses_slab()) {
+          void* block = sched_.acquire_task_block();
+          try {
+            task = new (block) Task(std::forward<F>(fn));
+          } catch (...) {
+            // The closure's move/copy ctor threw: placement-delete is a
+            // no-op, so hand the block back to the freelist ourselves.
+            sched_.release_unused_task_block(block);
+            throw;
+          }
+          task->from_slab = true;
+        } else {
+          task = new Task(std::forward<F>(fn));
+          sched_.note_heap_task();
+        }
+      } else {
+        task = new Task(std::forward<F>(fn));
+        sched_.note_heap_task();
+      }
+    } catch (...) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      throw;
+    }
     task->group = this;
     task->creator_worker =
         static_cast<std::uint32_t>(Scheduler::current_worker_id());

@@ -1,0 +1,147 @@
+// Per-worker fixed-size block recycler for scheduler tasks.
+//
+// The paper's fine-grained decomposition only scales because tasks are cheap;
+// paying a heap new/delete per spawned task puts a global allocator on the
+// hottest path of every fine-grained enumerator. Instead, each worker owns a
+// TaskSlab: task blocks are carved out of chunk allocations once, handed out
+// from an owner-only freelist (LIFO, so a freshly freed block is cache-hot
+// for the next spawn), and recycled forever. A task is always allocated on
+// the worker that spawns it but may finish anywhere; cross-worker frees are
+// pushed onto the owning slab's lock-free MPSC return list (a Treiber push,
+// which is ABA-safe because nobody pops with CAS — the owner drains the whole
+// list with a single exchange on its next allocation miss).
+//
+// Steady state is zero heap allocations and zero atomics on the spawn side:
+// acquire/release_local touch only owner-private state. The only cross-thread
+// traffic is the return-list push, paid once per *stolen* task, which is
+// exactly the cost model of the paper's copy-on-steal discipline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parcycle {
+
+// Every task object (closure + scheduler header) must fit one block; the
+// fine-grained enumerators static_assert this for their task types via
+// spawn_uses_slab_v (scheduler.hpp). Blocks are cache-line aligned so two
+// tasks never share a line.
+inline constexpr std::size_t kTaskSlabBlockSize = 256;
+inline constexpr std::size_t kTaskSlabBlockAlign = 64;
+inline constexpr std::size_t kTaskSlabChunkBlocks = 256;
+
+// Allocator-lifecycle counters. Owner-written except remote_releases (see
+// stats()); read them only while the scheduler is quiescent, like
+// Scheduler::worker_stats().
+struct TaskSlabStats {
+  std::uint64_t acquires = 0;         // blocks handed out
+  std::uint64_t local_releases = 0;   // freed by the owning worker
+  std::uint64_t remote_releases = 0;  // freed cross-worker via the return list
+  std::uint64_t remote_drains = 0;    // blocks recovered from the return list
+  std::uint64_t chunks_allocated = 0; // growth path: fresh chunk allocations
+
+  TaskSlabStats& operator+=(const TaskSlabStats& other) {
+    acquires += other.acquires;
+    local_releases += other.local_releases;
+    remote_releases += other.remote_releases;
+    remote_drains += other.remote_drains;
+    chunks_allocated += other.chunks_allocated;
+    return *this;
+  }
+};
+
+class TaskSlab {
+ public:
+  TaskSlab() = default;
+  TaskSlab(const TaskSlab&) = delete;
+  TaskSlab& operator=(const TaskSlab&) = delete;
+
+  // Owner worker only. Never returns nullptr; grows by one chunk when both
+  // the freelist and the return list are empty.
+  void* acquire() {
+    stats_.acquires += 1;
+    if (free_list_ == nullptr) {
+      drain_return_list();
+      if (free_list_ == nullptr) {
+        grow();
+      }
+    }
+    FreeNode* node = free_list_;
+    free_list_ = node->next;
+    return node;
+  }
+
+  // Owner worker only.
+  void release_local(void* block) {
+    stats_.local_releases += 1;
+    auto* node = static_cast<FreeNode*>(block);
+    node->next = free_list_;
+    free_list_ = node;
+  }
+
+  // Any thread. Lock-free push; the release ordering publishes the block's
+  // reusability to the owner's acquire-exchange in drain_return_list().
+  void release_remote(void* block) {
+    remote_releases_.fetch_add(1, std::memory_order_relaxed);
+    auto* node = static_cast<FreeNode*>(block);
+    FreeNode* head = return_list_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!return_list_.compare_exchange_weak(head, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
+
+  TaskSlabStats stats() const {
+    TaskSlabStats out = stats_;
+    out.remote_releases = remote_releases_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(FreeNode) <= kTaskSlabBlockSize);
+
+  struct Chunk {
+    alignas(kTaskSlabBlockAlign)
+        std::byte blocks[kTaskSlabChunkBlocks * kTaskSlabBlockSize];
+  };
+  static_assert(kTaskSlabBlockSize % kTaskSlabBlockAlign == 0,
+                "blocks must tile the chunk at full alignment");
+
+  void drain_return_list() {
+    FreeNode* head = return_list_.exchange(nullptr, std::memory_order_acquire);
+    while (head != nullptr) {
+      FreeNode* next = head->next;
+      head->next = free_list_;
+      free_list_ = head;
+      stats_.remote_drains += 1;
+      head = next;
+    }
+  }
+
+  void grow() {
+    auto chunk = std::make_unique<Chunk>();
+    stats_.chunks_allocated += 1;
+    for (std::size_t i = kTaskSlabChunkBlocks; i-- > 0;) {
+      auto* node =
+          reinterpret_cast<FreeNode*>(chunk->blocks + i * kTaskSlabBlockSize);
+      node->next = free_list_;
+      free_list_ = node;
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  FreeNode* free_list_ = nullptr;  // owner-only LIFO
+  TaskSlabStats stats_;            // owner-only except remote_releases
+  std::vector<std::unique_ptr<Chunk>> chunks_;  // owns every block forever
+  alignas(64) std::atomic<FreeNode*> return_list_{nullptr};
+  std::atomic<std::uint64_t> remote_releases_{0};
+};
+
+}  // namespace parcycle

@@ -10,6 +10,7 @@
 
 #include "core/johnson_impl.hpp"  // kUnboundedRem / child_rem
 #include "core/johnson_state.hpp"  // ScratchPool
+#include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 #include "temporal/temporal_johnson_impl.hpp"
 
@@ -349,7 +350,8 @@ struct FineTemporalRun {
           auto scratch = std::make_unique<TemporalReachScratch>();
           scratch->init(n);
           return scratch;
-        }) {}
+        }),
+        counter_sinks(sched_) {}
 
   const TemporalGraph& graph;
   Timestamp window;
@@ -362,13 +364,12 @@ struct FineTemporalRun {
   ScratchPool<ClosingTimeState> state_pool;
   ScratchPool<TemporalReachScratch> reach_pool;
 
-  Spinlock result_lock;
-  EnumResult result;
+  // Per-worker sinks, summed once after the run's final wait.
+  PerWorkerCounters counter_sinks;
   std::atomic<std::uint64_t> instances{0};
 
   void merge_counters(const WorkCounters& counters) {
-    LockGuard<Spinlock> guard(result_lock);
-    result.work += counters;
+    counter_sinks.merge(counters);
   }
 
   bool should_spawn() const {
@@ -460,6 +461,10 @@ struct TemporalChildTask {
     }
   }
 };
+
+// Spawning a TemporalChildTask must stay on the zero-allocation slab path.
+static_assert(spawn_uses_slab_v<TemporalChildTask>,
+              "TemporalChildTask outgrew the scheduler's task-slab block");
 
 bool fine_explore(TemporalSearchContext& search, ClosingTimeState& st,
                   std::int32_t rem) {
@@ -687,8 +692,10 @@ EnumResult fine_temporal_johnson_cycles(const TemporalGraph& graph,
   parallel_for_chunked(sched, 0, edges.size(), num_chunks, [&](std::size_t i) {
     temporal_search_root(run, edges[i]);
   });
-  run.result.num_cycles = run.instances.load(std::memory_order_relaxed);
-  return run.result;
+  EnumResult result;
+  result.work = run.counter_sinks.total();
+  result.num_cycles = run.instances.load(std::memory_order_relaxed);
+  return result;
 }
 
 }  // namespace parcycle

@@ -9,6 +9,7 @@
 
 #include "core/johnson_impl.hpp"   // kUnboundedRem / child_rem
 #include "core/johnson_state.hpp"  // ScratchPool
+#include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 #include "temporal/cycle_union.hpp"
 #include "temporal/temporal_rt_state.hpp"
@@ -397,7 +398,8 @@ struct FineTRTRun {
           auto scratch = std::make_unique<TemporalReachScratch>();
           scratch->init(n);
           return scratch;
-        }) {}
+        }),
+        counter_sinks(sched_) {}
 
   const TemporalGraph& graph;
   Timestamp window;
@@ -409,13 +411,11 @@ struct FineTRTRun {
   ScratchPool<TemporalRTState> state_pool;
   ScratchPool<TemporalReachScratch> reach_pool;
 
-  Spinlock result_lock;
-  EnumResult result;
+  // Per-worker sinks, summed once after the run's final wait.
+  PerWorkerCounters counter_sinks;
 
   void merge_counters(const WorkCounters& counters) {
-    LockGuard<Spinlock> guard(result_lock);
-    result.num_cycles += counters.cycles_found;
-    result.work += counters;
+    counter_sinks.merge(counters);
   }
 
   bool should_spawn() const {
@@ -462,6 +462,10 @@ struct TRTTask {
     run.state_pool.release(std::move(owned));
   }
 };
+
+// Spawning a TRTTask must stay on the zero-allocation slab path.
+static_assert(spawn_uses_slab_v<TRTTask>,
+              "TRTTask outgrew the scheduler's task-slab block");
 
 void trt_exec_call(FineTRTContext& search, TemporalRTState& st,
                    TRTChild&& child) {
@@ -548,7 +552,10 @@ EnumResult fine_temporal_read_tarjan_cycles(const TemporalGraph& graph,
       std::max<std::size_t>(std::size_t{32} * sched.num_workers(), 1);
   parallel_for_chunked(sched, 0, edges.size(), num_chunks,
                        [&](std::size_t i) { trt_search_root(run, edges[i]); });
-  return run.result;
+  EnumResult result;
+  result.work = run.counter_sinks.total();
+  result.num_cycles = result.work.cycles_found;
+  return result;
 }
 
 }  // namespace parcycle

@@ -9,6 +9,7 @@
 #include "core/johnson.hpp"
 #include "core/read_tarjan.hpp"
 #include "core/tiernan.hpp"
+#include "core/window_context.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "support/prng.hpp"
@@ -189,6 +190,41 @@ TEST(Windowed, CycleUnionPruningDoesNotChangeResults) {
     const auto d = read_tarjan_windowed_cycles(g, 100, without_union);
     EXPECT_EQ(c.num_cycles, d.num_cycles);
     EXPECT_EQ(c.num_cycles, a.num_cycles);
+  }
+}
+
+TEST(Windowed, CycleUnionLastUnionSizeMatchesStampScan) {
+  // last_union_size() is maintained from the backward-pass queue length;
+  // it must equal what the old O(n) stamp rescan counted, for every start,
+  // including starts whose compute() fails (size 0).
+  SplitMix64 seeds(0xdecade);
+  for (int trial = 0; trial < 3; ++trial) {
+    const TemporalGraph g = uniform_temporal(15, 80, 500, seeds.next());
+    CycleUnionScratch scratch;
+    scratch.init(g.num_vertices());
+    for (const auto& e0 : g.edges_by_time()) {
+      if (e0.src == e0.dst) {
+        continue;
+      }
+      StartContext ctx;
+      ctx.e0 = e0.id;
+      ctx.tail = e0.src;
+      ctx.head = e0.dst;
+      ctx.t0 = e0.ts;
+      ctx.hi = e0.ts + 100;
+      const bool ok = scratch.compute(g, ctx);
+      std::size_t rescan = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        rescan += scratch.contains(v) ? 1 : 0;
+      }
+      EXPECT_EQ(scratch.last_union_size(), rescan)
+          << "trial=" << trial << " e0=" << e0.id;
+      if (!ok) {
+        EXPECT_EQ(scratch.last_union_size(), 0u);
+      } else {
+        EXPECT_GE(scratch.last_union_size(), 2u);  // tail and head at least
+      }
+    }
   }
 }
 

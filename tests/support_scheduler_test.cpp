@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace parcycle {
@@ -177,6 +181,163 @@ TEST(Scheduler, WithPoolScopesTheSchedulerAndReturnsTheResult) {
   // Void-returning bodies work too.
   Scheduler::with_pool(2, [](Scheduler& sched) { (void)sched; });
   EXPECT_EQ(Scheduler::current(), nullptr);
+}
+
+namespace {
+void spin_for_a_while() {
+  volatile int x = 0;
+  for (int j = 0; j < 20000; ++j) {
+    x = x + j;
+  }
+}
+
+std::uint64_t total_busy_ns(const Scheduler& sched) {
+  std::uint64_t total = 0;
+  for (const auto& stats : sched.worker_stats()) {
+    total += stats.busy_ns;
+  }
+  return total;
+}
+}  // namespace
+
+TEST(Scheduler, TransitionTimingRecordsBusyTime) {
+  // Default mode: no clock reads per task, but the busy intervals opened at
+  // find/idle transitions still cover the task bodies.
+  Scheduler sched(2);
+  TaskGroup group(sched);
+  for (int i = 0; i < 64; ++i) {
+    group.spawn(spin_for_a_while);
+  }
+  group.wait();
+  EXPECT_GT(total_busy_ns(sched), 0u);
+}
+
+TEST(Scheduler, TransitionTimingCountsWorkAfterNestedWait) {
+  // The fine-grained enumerators wait at every recursion level and then do
+  // real work after the wait (e.g. Johnson's exit critical section). A
+  // nested wait must not close the busy interval: only the outermost wait
+  // returns to sequential code.
+  Scheduler sched(1);
+  constexpr auto kPostWaitWork = std::chrono::milliseconds(20);
+  TaskGroup outer(sched);
+  outer.spawn([&sched, kPostWaitWork] {
+    TaskGroup inner(sched);
+    inner.spawn([] {});
+    inner.wait();
+    std::this_thread::sleep_for(kPostWaitWork);  // post-wait task time
+  });
+  outer.wait();
+  const auto busy = std::chrono::nanoseconds(total_busy_ns(sched));
+  EXPECT_GE(busy, kPostWaitWork / 2);
+}
+
+TEST(Scheduler, PerTaskTimingRecordsBusyTime) {
+  Scheduler sched(2, SchedulerOptions{.timing = TimingMode::kPerTask});
+  TaskGroup group(sched);
+  for (int i = 0; i < 64; ++i) {
+    group.spawn(spin_for_a_while);
+  }
+  group.wait();
+  EXPECT_GT(total_busy_ns(sched), 0u);
+}
+
+TEST(Scheduler, TimingOffLeavesBusyZero) {
+  Scheduler sched(2, SchedulerOptions{.timing = TimingMode::kOff});
+  TaskGroup group(sched);
+  for (int i = 0; i < 64; ++i) {
+    group.spawn(spin_for_a_while);
+  }
+  group.wait();
+  EXPECT_EQ(total_busy_ns(sched), 0u);
+}
+
+TEST(Scheduler, SmallClosuresTakeTheSlabPath) {
+  static_assert(spawn_uses_slab_v<decltype([] {})>);
+  Scheduler sched(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 1000; ++i) {
+    group.spawn([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 1000);
+  std::uint64_t heap_tasks = 0;
+  for (const auto& stats : sched.worker_stats()) {
+    heap_tasks += stats.tasks_heap_allocated;
+  }
+  EXPECT_EQ(heap_tasks, 0u);
+}
+
+TEST(Scheduler, OversizedClosuresFallBackToTheHeap) {
+  struct BigCapture {
+    std::array<std::byte, 2 * kTaskSlabBlockSize> payload{};
+  };
+  Scheduler sched(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    BigCapture big;
+    big.payload[0] = std::byte{42};
+    auto closure = [big, &counter] {
+      counter.fetch_add(static_cast<int>(big.payload[0]),
+                        std::memory_order_relaxed);
+    };
+    static_assert(!spawn_uses_slab_v<decltype(closure)>);
+    group.spawn(std::move(closure));
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 42 * kTasks);
+  std::uint64_t heap_tasks = 0;
+  for (const auto& stats : sched.worker_stats()) {
+    heap_tasks += stats.tasks_heap_allocated;
+  }
+  EXPECT_EQ(heap_tasks, static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Scheduler, ThrowingClosureMoveLeaksNoSlabBlock) {
+  struct ThrowOnMove {
+    ThrowOnMove() = default;
+    ThrowOnMove(const ThrowOnMove&) = default;
+    ThrowOnMove(ThrowOnMove&&) { throw std::runtime_error("move failed"); }
+    void operator()() const {}
+  };
+  Scheduler sched(1);
+  TaskGroup group(sched);
+  EXPECT_THROW(group.spawn(ThrowOnMove{}), std::runtime_error);
+  // The failed spawn left no pending count behind...
+  EXPECT_TRUE(group.done());
+  group.wait();
+  // ...and its slab block went straight back to the freelist.
+  const auto slabs = sched.slab_stats();
+  EXPECT_EQ(slabs[0].acquires, 1u);
+  EXPECT_EQ(slabs[0].local_releases, 1u);
+  // The block is reusable: a healthy spawn takes it again without growth.
+  TaskGroup group2(sched);
+  group2.spawn([] {});
+  group2.wait();
+  EXPECT_EQ(sched.slab_stats()[0].chunks_allocated, 1u);
+}
+
+TEST(Scheduler, SlabCanBeDisabledForComparison) {
+  Scheduler sched(2, SchedulerOptions{.use_task_slab = false});
+  std::atomic<int> counter{0};
+  TaskGroup group(sched);
+  for (int i = 0; i < 100; ++i) {
+    group.spawn([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+  std::uint64_t heap_tasks = 0;
+  std::uint64_t slab_acquires = 0;
+  for (const auto& stats : sched.worker_stats()) {
+    heap_tasks += stats.tasks_heap_allocated;
+  }
+  for (const auto& stats : sched.slab_stats()) {
+    slab_acquires += stats.acquires;
+  }
+  EXPECT_EQ(heap_tasks, 100u);
+  EXPECT_EQ(slab_acquires, 0u);
 }
 
 TEST(Scheduler, ManySmallGroupsSequentially) {

@@ -1,0 +1,255 @@
+// TaskSlab unit tests plus scheduler-level slab integration: the
+// zero-allocation steady state, the growth path, and cross-worker
+// free/reallocate traffic (spawn on worker A, execute+free on B,
+// reallocate on A).
+#include "support/task_slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+namespace {
+
+TEST(TaskSlab, LocalReleaseRecyclesLifo) {
+  TaskSlab slab;
+  void* first = slab.acquire();
+  std::memset(first, 0xab, kTaskSlabBlockSize);
+  slab.release_local(first);
+  // LIFO freelist: the freshly freed (cache-hot) block comes back first.
+  EXPECT_EQ(slab.acquire(), first);
+  slab.release_local(first);
+
+  const TaskSlabStats stats = slab.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.local_releases, 2u);
+  EXPECT_EQ(stats.chunks_allocated, 1u);
+  EXPECT_EQ(stats.remote_releases, 0u);
+}
+
+TEST(TaskSlab, BlocksAreAlignedAndDistinct) {
+  TaskSlab slab;
+  std::set<void*> blocks;
+  for (std::size_t i = 0; i < 2 * kTaskSlabChunkBlocks; ++i) {
+    void* block = slab.acquire();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(block) % kTaskSlabBlockAlign,
+              0u);
+    EXPECT_TRUE(blocks.insert(block).second) << "block handed out twice";
+  }
+  EXPECT_EQ(slab.stats().chunks_allocated, 2u);
+  for (void* block : blocks) {
+    slab.release_local(block);
+  }
+  // Everything recycles: a second sweep of the same size allocates no chunk.
+  for (std::size_t i = 0; i < 2 * kTaskSlabChunkBlocks; ++i) {
+    slab.release_local(slab.acquire());
+  }
+  EXPECT_EQ(slab.stats().chunks_allocated, 2u);
+}
+
+TEST(TaskSlab, RemoteReturnsAreDrainedBeforeGrowing) {
+  TaskSlab slab;
+  std::vector<void*> blocks;
+  for (std::size_t i = 0; i < kTaskSlabChunkBlocks; ++i) {
+    blocks.push_back(slab.acquire());
+  }
+  // Free every block through the cross-worker path (any thread may push,
+  // including the owner).
+  for (void* block : blocks) {
+    slab.release_remote(block);
+  }
+  // The freelist is empty, so the next acquire must drain the return list
+  // instead of allocating a second chunk.
+  std::set<void*> reacquired;
+  for (std::size_t i = 0; i < kTaskSlabChunkBlocks; ++i) {
+    reacquired.insert(slab.acquire());
+  }
+  EXPECT_EQ(reacquired.size(), blocks.size());
+
+  const TaskSlabStats stats = slab.stats();
+  EXPECT_EQ(stats.chunks_allocated, 1u);
+  EXPECT_EQ(stats.remote_releases, kTaskSlabChunkBlocks);
+  EXPECT_EQ(stats.remote_drains, kTaskSlabChunkBlocks);
+}
+
+TEST(TaskSlab, ConcurrentRemotePushesAllArrive) {
+  TaskSlab slab;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 256;
+  std::vector<std::vector<void*>> handed(kThreads);
+  for (auto& lot : handed) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      lot.push_back(slab.acquire());
+    }
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&slab, lot = std::move(handed[t])] {
+      for (void* block : lot) {
+        slab.release_remote(block);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // The owner gets every block back without growing.
+  std::set<void*> reacquired;
+  for (std::size_t i = 0; i < kThreads * kPerThread; ++i) {
+    reacquired.insert(slab.acquire());
+  }
+  EXPECT_EQ(reacquired.size(), kThreads * kPerThread);
+  const TaskSlabStats stats = slab.stats();
+  EXPECT_EQ(stats.remote_releases, kThreads * kPerThread);
+  EXPECT_EQ(stats.chunks_allocated,
+            (kThreads * kPerThread + kTaskSlabChunkBlocks - 1) /
+                kTaskSlabChunkBlocks);
+}
+
+TaskSlabStats total_slab_stats(const Scheduler& sched) {
+  TaskSlabStats total;
+  for (const auto& stats : sched.slab_stats()) {
+    total += stats;
+  }
+  return total;
+}
+
+std::uint64_t total_heap_tasks(const Scheduler& sched) {
+  std::uint64_t total = 0;
+  for (const auto& stats : sched.worker_stats()) {
+    total += stats.tasks_heap_allocated;
+  }
+  return total;
+}
+
+// The acceptance property of the slab rework: once warm, the spawn path
+// allocates nothing. Single worker makes the schedule deterministic — every
+// wave's blocks return to the freelist before the next wave starts.
+TEST(SchedulerSlab, SteadyStateSpawnsAllocateNothing) {
+  constexpr int kTasksPerWave = 600;  // > 2 chunks of blocks
+  Scheduler sched(1);
+  std::atomic<int> counter{0};
+  const auto wave = [&] {
+    TaskGroup group(sched);
+    for (int i = 0; i < kTasksPerWave; ++i) {
+      group.spawn([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+  };
+  wave();
+  const std::uint64_t warm_chunks = total_slab_stats(sched).chunks_allocated;
+  EXPECT_GE(warm_chunks, 1u);
+
+  constexpr int kWaves = 50;
+  for (int i = 0; i < kWaves; ++i) {
+    wave();
+  }
+  EXPECT_EQ(counter.load(), (kWaves + 1) * kTasksPerWave);
+
+  const TaskSlabStats stats = total_slab_stats(sched);
+  EXPECT_EQ(stats.chunks_allocated, warm_chunks)
+      << "steady-state spawning hit the slab growth path";
+  EXPECT_EQ(stats.acquires,
+            static_cast<std::uint64_t>((kWaves + 1) * kTasksPerWave));
+  EXPECT_EQ(total_heap_tasks(sched), 0u);
+  // Every block went back: nothing leaked into the void.
+  EXPECT_EQ(stats.acquires, stats.local_releases + stats.remote_releases);
+}
+
+// Cross-worker lifecycle stress: all tasks are spawned (= allocated) on
+// worker 0, held open by a latch until at least one of them is observed
+// executing on another worker, and freed wherever they finish. Blocks freed
+// remotely must flow back to worker 0's slab through the return list and be
+// reusable by later rounds.
+TEST(SchedulerSlab, CrossWorkerFreeStress) {
+  constexpr int kTasksPerRound = 600;
+  constexpr int kRounds = 10;
+  Scheduler sched(4);
+  std::atomic<int> executed{0};
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<bool> latch{false};
+    std::atomic<int> remote_executions{0};
+    TaskGroup group(sched);
+    for (int i = 0; i < kTasksPerRound; ++i) {
+      group.spawn([&latch, &remote_executions, &executed] {
+        if (Scheduler::current_worker_id() != 0) {
+          remote_executions.fetch_add(1, std::memory_order_relaxed);
+        }
+        while (!latch.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Hold the latch until a steal is guaranteed, so every round produces
+    // cross-worker frees.
+    while (remote_executions.load(std::memory_order_relaxed) == 0) {
+      std::this_thread::yield();
+    }
+    latch.store(true, std::memory_order_release);
+    group.wait();
+  }
+  EXPECT_EQ(executed.load(), kRounds * kTasksPerRound);
+
+  const auto worker = sched.worker_stats();
+  std::uint64_t stolen = 0;
+  for (const auto& stats : worker) {
+    stolen += stats.tasks_stolen;
+  }
+  EXPECT_GT(stolen, 0u);
+  EXPECT_EQ(total_heap_tasks(sched), 0u);
+
+  // All tasks were spawned on worker 0, so all blocks came from its slab —
+  // and the stolen ones came back through the MPSC return list.
+  const auto slabs = sched.slab_stats();
+  EXPECT_EQ(slabs[0].acquires,
+            static_cast<std::uint64_t>(kRounds * kTasksPerRound));
+  EXPECT_GT(slabs[0].remote_releases, 0u);
+  for (std::size_t w = 1; w < slabs.size(); ++w) {
+    EXPECT_EQ(slabs[w].acquires, 0u) << "worker " << w;
+  }
+  EXPECT_EQ(slabs[0].acquires,
+            slabs[0].local_releases + slabs[0].remote_releases);
+  // Reuse across rounds keeps the footprint near one round's peak; without
+  // recycling this would be ~kRounds times larger.
+  const std::uint64_t peak_chunks =
+      (kTasksPerRound + kTaskSlabChunkBlocks - 1) / kTaskSlabChunkBlocks;
+  EXPECT_LE(slabs[0].chunks_allocated, 2 * peak_chunks + 1);
+}
+
+// Nested fork-join with stealing: blocks are allocated on whichever worker
+// spawns, freed on whichever executes — the general many-to-many traffic the
+// MPSC return lists must survive (this is the suite's TSan target).
+TEST(SchedulerSlab, NestedSpawnStressRecyclesEverything) {
+  Scheduler sched(4);
+  std::atomic<int> leaves{0};
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup outer(sched);
+    for (int i = 0; i < 64; ++i) {
+      outer.spawn([&leaves] {
+        TaskGroup inner;
+        for (int j = 0; j < 32; ++j) {
+          inner.spawn(
+              [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+        }
+        inner.wait();
+      });
+    }
+    outer.wait();
+  }
+  EXPECT_EQ(leaves.load(), 20 * 64 * 32);
+
+  const TaskSlabStats stats = total_slab_stats(sched);
+  EXPECT_EQ(stats.acquires, static_cast<std::uint64_t>(20 * (64 + 64 * 32)));
+  EXPECT_EQ(stats.acquires, stats.local_releases + stats.remote_releases);
+  EXPECT_EQ(total_heap_tasks(sched), 0u);
+}
+
+}  // namespace
+}  // namespace parcycle

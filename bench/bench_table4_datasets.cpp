@@ -1,7 +1,8 @@
 // Table 4 reproduction: the dataset roster. Prints the paper's published
-// statistics next to the synthetic analog actually benchmarked here
-// (including measured degree skew, the property that drives the paper's
-// load-imbalance results).
+// statistics next to the graph actually benchmarked here — the synthetic
+// analog by default, or a real fetched dataset when one is found under
+// --dataset-dir / $PARCYCLE_DATASET_DIR (scripts/fetch_datasets.py). The
+// "source" column and the JSON "provenance" field label which one ran.
 //
 // With --json <path> the roster is persisted together with serial-Johnson
 // enumeration probes at the tuned windows (cycles, wall seconds, edge
@@ -24,9 +25,12 @@ using namespace parcycle;
 
 int main(int argc, char** argv) {
   if (help_requested(argc, argv,
-                     "usage: bench_table4_datasets [quick|all] [--json <path>]\n"
+                     "usage: bench_table4_datasets [quick|all] "
+                     "[--dataset-dir <dir>] [--json <path>]\n"
                      "Prints the dataset roster: paper statistics vs the "
-                     "synthetic analogs benchmarked here.\n"
+                     "graphs benchmarked here\n"
+                     "(synthetic analogs, or real datasets discovered under "
+                     "--dataset-dir / $PARCYCLE_DATASET_DIR).\n"
                      "--json additionally runs serial-Johnson probes at the "
                      "tuned windows and persists the baseline.\n")) {
     return 0;
@@ -38,22 +42,27 @@ int main(int argc, char** argv) {
       probe_limit = dataset_registry().size();
     } else if (arg == "quick") {
       probe_limit = 4;
-    } else if (arg == "--json" && i + 1 < argc) {
+    } else if ((arg == "--json" || arg == "--dataset-dir") && i + 1 < argc) {
       ++i;
     } else {
       std::cerr << "unknown or incomplete argument: " << arg << "\n"
-                << "usage: bench_table4_datasets [quick|all] [--json <path>]\n";
+                << "usage: bench_table4_datasets [quick|all] "
+                   "[--dataset-dir <dir>] [--json <path>]\n";
       return 2;
     }
   }
   const std::string json_path = json_output_path(argc, argv);
+  std::string dataset_dir = dataset_dir_from_cli(argc, argv);
+  if (dataset_dir.empty()) {
+    dataset_dir = dataset_dir_from_env();
+  }
 
-  std::cout << "=== Table 4: temporal graphs (paper vs synthetic analog) ===\n"
-            << "Analog graphs are scale-free temporal graphs generated at a\n"
-            << "laptop-enumerable scale; see DESIGN.md section 5.\n\n";
-  TextTable table({"graph", "paper n", "paper e", "analog n", "analog e",
-                   "span", "max out-deg", "avg out-deg", "window s",
-                   "window t"});
+  std::cout << "=== Table 4: temporal graphs (paper vs benchmarked graph) ===\n"
+            << "Source 'analog' is a scale-free temporal graph generated at a\n"
+            << "laptop-enumerable scale; 'real'/'real-cache' is a fetched "
+               "dataset file.\n\n";
+  TextTable table({"graph", "source", "paper n", "paper e", "n", "e", "span",
+                   "max out-deg", "avg out-deg", "window s", "window t"});
 
   std::unique_ptr<JsonBaselineFile> baseline;
   JsonWriter* json = nullptr;
@@ -69,51 +78,60 @@ int main(int argc, char** argv) {
 
   std::size_t index = 0;
   for (const auto& spec : dataset_registry()) {
-    const TemporalGraph graph = build_dataset(spec);
-    std::size_t max_degree = 0;
-    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      max_degree = std::max(max_degree, graph.out_edges(v).size());
-    }
-    const double avg_degree = static_cast<double>(graph.num_edges()) /
-                              static_cast<double>(graph.num_vertices());
-    table.add_row({spec.name, TextTable::count(spec.paper_vertices),
-                   TextTable::count(spec.paper_edges),
-                   TextTable::count(graph.num_vertices()),
-                   TextTable::count(graph.num_edges()),
-                   TextTable::count(static_cast<std::uint64_t>(
-                       graph.time_span())),
-                   TextTable::count(max_degree),
-                   TextTable::fixed(avg_degree, 1),
-                   spec.window_simple > 0
-                       ? TextTable::count(static_cast<std::uint64_t>(
-                             spec.window_simple))
-                       : "-",
-                   TextTable::count(static_cast<std::uint64_t>(
-                       spec.window_temporal))});
+    const DatasetSource source = resolve_dataset(spec, dataset_dir);
+    // One single-worker pool per dataset: chunked (deterministic) parsing
+    // for real files, and the serial-Johnson probes the baselines pin.
+    Scheduler::with_pool(1, [&](Scheduler& sched) {
+      LoadStats load_stats;
+      const TemporalGraph graph =
+          source.load(&sched, &load_stats, /*update_cache=*/true);
+      std::size_t max_degree = 0;
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        max_degree = std::max(max_degree, graph.out_edges(v).size());
+      }
+      const double avg_degree = static_cast<double>(graph.num_edges()) /
+                                static_cast<double>(graph.num_vertices());
+      table.add_row({spec.name, provenance_name(source.provenance),
+                     TextTable::count(spec.paper_vertices),
+                     TextTable::count(spec.paper_edges),
+                     TextTable::count(graph.num_vertices()),
+                     TextTable::count(graph.num_edges()),
+                     TextTable::count(static_cast<std::uint64_t>(
+                         graph.time_span())),
+                     TextTable::count(max_degree),
+                     TextTable::fixed(avg_degree, 1),
+                     spec.window_simple > 0
+                         ? TextTable::count(static_cast<std::uint64_t>(
+                               spec.window_simple))
+                         : "-",
+                     TextTable::count(static_cast<std::uint64_t>(
+                         spec.window_temporal))});
 
-    if (json != nullptr) {
-      json->begin_object();
-      json->kv("name", spec.name);
-      json->kv("full_name", spec.full_name);
-      json->kv("paper_vertices", spec.paper_vertices);
-      json->kv("paper_edges", spec.paper_edges);
-      json->kv("analog_vertices", graph.num_vertices());
-      json->kv("analog_edges", graph.num_edges());
-      json->kv("time_span", static_cast<std::int64_t>(graph.time_span()));
-      json->kv("max_out_degree", static_cast<std::uint64_t>(max_degree));
-      json->kv("avg_out_degree", avg_degree);
-      json->kv("window_simple", static_cast<std::int64_t>(spec.window_simple));
-      json->kv("window_temporal",
-               static_cast<std::int64_t>(spec.window_temporal));
-      if (index < probe_limit) {
-        // Serial-Johnson probes: the dataset-level perf baseline (cycles,
-        // wall seconds, edge visits). The registry windows are tuned for the
-        // sub-millisecond smoke regime, so the probes scale them up (8x)
-        // into the hundreds-to-thousands-of-cycles regime where perf deltas
-        // are measurable; the scaled window is recorded alongside each
-        // probe. (Cycle counts are extremely steep in the window size, so
-        // larger multipliers explode combinatorially on some analogs.)
-        Scheduler::with_pool(1, [&](Scheduler& sched) {
+      if (json != nullptr) {
+        json->begin_object();
+        json->kv("name", spec.name);
+        json->kv("full_name", spec.full_name);
+        json->kv("provenance", provenance_name(source.provenance));
+        if (source.is_real()) {
+          json->kv("path", source.path);
+          json->kv("parse_chunks", load_stats.parse_chunks);
+        }
+        json->kv("paper_vertices", spec.paper_vertices);
+        json->kv("paper_edges", spec.paper_edges);
+        json->kv("analog_vertices", graph.num_vertices());
+        json->kv("analog_edges", graph.num_edges());
+        json->kv("time_span", static_cast<std::int64_t>(graph.time_span()));
+        json->kv("max_out_degree", static_cast<std::uint64_t>(max_degree));
+        json->kv("avg_out_degree", avg_degree);
+        json->kv("window_simple",
+                 static_cast<std::int64_t>(spec.window_simple));
+        json->kv("window_temporal",
+                 static_cast<std::int64_t>(spec.window_temporal));
+        if (index < probe_limit) {
+          // Serial-Johnson probes: the dataset-level perf baseline (cycles,
+          // wall seconds, edge visits). The registry windows are tuned to
+          // land directly in the hundreds-to-thousands-of-cycles regime
+          // where perf deltas are measurable, so they run unscaled.
           json->key("probes");
           json->begin_array();
           const auto emit = [&](const char* task, const RunOutcome& probe,
@@ -127,21 +145,20 @@ int main(int argc, char** argv) {
             json->end_object();
           };
           if (spec.window_simple > 0) {
-            const Timestamp window = spec.window_simple * 8;
             emit("windowed_simple",
-                 run_windowed_simple(Algo::kSerialJohnson, graph, window,
-                                     sched),
-                 window);
+                 run_windowed_simple(Algo::kSerialJohnson, graph,
+                                     spec.window_simple, sched),
+                 spec.window_simple);
           }
-          const Timestamp window = spec.window_temporal * 8;
           emit("temporal",
-               run_temporal(Algo::kSerialJohnson, graph, window, sched),
-               window);
+               run_temporal(Algo::kSerialJohnson, graph, spec.window_temporal,
+                            sched),
+               spec.window_temporal);
           json->end_array();
-        });
+        }
+        json->end_object();
       }
-      json->end_object();
-    }
+    });
     index += 1;
   }
   table.print(std::cout);

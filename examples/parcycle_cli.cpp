@@ -1,7 +1,7 @@
 // Command-line front end: enumerate cycles of an edge-list file with any of
 // the library's algorithms — the tool a downstream user reaches for first.
 //
-//   parcycle_cli <edge-list> [options]
+//   parcycle_cli <edge-list | .pcg cache> [options]
 //     --mode simple|windowed|temporal   (default temporal)
 //     --window N                        (required for windowed/temporal)
 //     --algo serial-johnson|serial-rt|fine-johnson|fine-rt|coarse-johnson|
@@ -11,15 +11,25 @@
 //     --hops K    hop-constrained mode: run the dedicated BC-DFS subsystem
 //                 (simple mode: serial BC-DFS; windowed mode: serial or
 //                 fine-grained BC-DFS depending on --algo fine-*)
+//     --dataset-file <path>             (alternative to the positional path)
+//     --dataset <NAME> [--dataset-dir <dir>]
+//                 load a registry dataset: the real file found under
+//                 --dataset-dir / $PARCYCLE_DATASET_DIR, else the synthetic
+//                 analog
+//     --save-cache <path>               (write the loaded graph as a .pcg)
+//     --serial-load                     (disable the parallel parser)
 //     --no-cycle-union --no-bundling
 //     --print                           (print every cycle)
 //
 // The edge-list format is SNAP-style: "src dst [timestamp]" per line, '#'
-// comments allowed.
+// comments allowed, CRLF tolerated. A binary .pcg cache (written by
+// --save-cache or the benches) is detected by magic and streamed instead of
+// parsed.
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench_support/datasets.hpp"
 #include "core/coarse_grained.hpp"
 #include "core/fine_hc_dfs.hpp"
 #include "core/fine_johnson.hpp"
@@ -28,7 +38,8 @@
 #include "core/johnson.hpp"
 #include "core/read_tarjan.hpp"
 #include "core/tiernan.hpp"
-#include "graph/io.hpp"
+#include "io/edge_list.hpp"
+#include "io/graph_cache.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
 #include "temporal/brute.hpp"
@@ -63,16 +74,24 @@ class PrintingSink final : public parcycle::CycleSink {
 };
 
 int usage() {
-  std::cerr << "usage: parcycle_cli <edge-list> [--mode simple|windowed|"
-               "temporal] [--window N]\n"
+  std::cerr << "usage: parcycle_cli <edge-list | .pcg> [--mode simple|"
+               "windowed|temporal] [--window N]\n"
                "  [--algo fine-johnson|fine-rt|coarse-johnson|coarse-rt|"
                "serial-johnson|serial-rt|tiernan|2scent|brute]\n"
                "  [--threads N] [--max-length N] [--hops K] "
                "[--no-cycle-union] [--no-bundling] [--print]\n"
+               "  [--dataset-file <path>] [--dataset <NAME>] "
+               "[--dataset-dir <dir>] [--save-cache <path>] [--serial-load]\n"
                "--hops K enumerates hop-constrained cycles (<= K edges) with "
                "the BC-DFS subsystem\n"
                "(simple/windowed modes; windowed picks serial or fine-grained "
-               "BC-DFS from --algo).\n";
+               "BC-DFS from --algo).\n"
+               "--dataset loads a registry dataset: the real file under "
+               "--dataset-dir / $PARCYCLE_DATASET_DIR when\n"
+               "fetched (scripts/fetch_datasets.py), else its synthetic "
+               "analog. Text parses use the parallel parser\n"
+               "on --threads workers unless --serial-load; .pcg caches are "
+               "streamed.\n";
   return 2;
 }
 
@@ -86,24 +105,37 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
-  if (argc < 2) {
-    return usage();
-  }
-  const std::string path = argv[1];
+  std::string path;
   std::string mode = "temporal";
   std::string algo = "fine-johnson";
+  std::string dataset;
+  std::string dataset_dir;
+  std::string save_cache;
+  bool serial_load = false;
   Timestamp window = -1;
   unsigned threads = 4;
   int hops = 0;
   EnumOptions options;
   bool print = false;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--mode") {
+    if (!arg.empty() && arg[0] != '-' && path.empty() && i == 1) {
+      path = arg;
+    } else if (arg == "--dataset-file") {
+      path = next() ? argv[i] : "";
+    } else if (arg == "--dataset") {
+      dataset = next() ? argv[i] : "";
+    } else if (arg == "--dataset-dir") {
+      dataset_dir = next() ? argv[i] : "";
+    } else if (arg == "--save-cache") {
+      save_cache = next() ? argv[i] : "";
+    } else if (arg == "--serial-load") {
+      serial_load = true;
+    } else if (arg == "--mode") {
       mode = next() ? argv[i] : "";
     } else if (arg == "--algo") {
       algo = next() ? argv[i] : "";
@@ -127,16 +159,57 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (path.empty() == dataset.empty()) {
+    std::cerr << "error: pass exactly one of <edge-list> or --dataset\n";
+    return usage();
+  }
+
+  // The scheduler exists before the load so text parsing can run chunked
+  // across the same worker pool that will enumerate.
+  Scheduler sched(threads);
+  Scheduler* load_sched = serial_load ? nullptr : &sched;
+
   TemporalGraph graph;
+  LoadStats load_stats;
+  std::string source_label;
   try {
-    graph = load_temporal_edge_list_file(path);
+    if (!dataset.empty()) {
+      if (dataset_dir.empty()) {
+        dataset_dir = dataset_dir_from_env();
+      }
+      const DatasetSource source =
+          resolve_dataset(dataset_by_name(dataset), dataset_dir);
+      graph = source.load(load_sched, &load_stats);
+      source_label = provenance_name(source.provenance);
+      if (source.is_real()) {
+        source_label += " (" + source.path + ")";
+      }
+    } else {
+      bool from_cache = false;
+      graph = load_graph_any(path, load_sched, {}, &load_stats, &from_cache);
+      source_label = from_cache ? "cache" : "text";
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
   std::cerr << "loaded " << graph.num_vertices() << " vertices, "
             << graph.num_edges() << " edges, time span " << graph.time_span()
-            << "\n";
+            << " [source: " << source_label << "]\n";
+  if (load_stats.self_loops_dropped + load_stats.duplicate_edges_dropped > 0) {
+    std::cerr << "dropped " << load_stats.self_loops_dropped
+              << " self-loops, " << load_stats.duplicate_edges_dropped
+              << " duplicate edges\n";
+  }
+  if (!save_cache.empty()) {
+    try {
+      save_graph_cache_file(graph, save_cache);
+      std::cerr << "cache written to " << save_cache << "\n";
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
+    }
+  }
   if (mode != "simple" && window < 0) {
     std::cerr << "error: --window is required for mode " << mode << "\n";
     return usage();
@@ -144,7 +217,6 @@ int main(int argc, char** argv) {
 
   PrintingSink printer;
   CycleSink* sink = print ? &printer : nullptr;
-  Scheduler sched(threads);
   WallTimer timer;
   EnumResult result;
 

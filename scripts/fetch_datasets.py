@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Fetch the paper's public datasets into $PARCYCLE_DATASET_DIR.
+
+Downloads the SNAP graphs evaluated in Table 4 (wiki-talk, bitcoin,
+stackoverflow, ...), decompresses them, and normalises each to the
+whitespace-separated "src dst ts" edge-list format the parcycle parsers
+read, named "<full_name>.txt" so bench_support/datasets.cpp discovers them.
+
+Checksums: the first successful fetch of a dataset records its SHA-256 in
+<dest>/manifest.lock.json; later fetches of the same dataset verify against
+the recorded digest and fail loudly on mismatch, so a silently-changed or
+corrupted upstream file can never replace a graph mid-study.
+
+This script NEVER runs in CI (the benches fall back to synthetic analogs
+when the dataset directory is absent); CI only exercises --dry-run, which
+performs no network or filesystem writes.
+
+Usage:
+    fetch_datasets.py [--dest DIR] [--only NAME ...] [--dry-run] [--list]
+                      [--force]
+"""
+
+import argparse
+import contextlib
+import gzip
+import hashlib
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+# Behave like a unix tool when piped into head & co.
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+# Normalisation specs: `cols` picks whitespace/`sep`-separated columns
+# (src, dst, ts) from each data line; None means the file is already
+# "src dst ts". Entries with url=None are not publicly downloadable
+# (Konect / Dataverse / private AML data); the script prints their `note`
+# instead of failing.
+MANIFEST = {
+    "bitcoinalpha": {
+        "url": "https://snap.stanford.edu/data/soc-sign-bitcoinalpha.csv.gz",
+        "sep": ",",
+        "cols": (0, 1, 3),  # SOURCE,TARGET,RATING,TIME
+    },
+    "bitcoinotc": {
+        "url": "https://snap.stanford.edu/data/soc-sign-bitcoinotc.csv.gz",
+        "sep": ",",
+        "cols": (0, 1, 3),
+    },
+    "CollegeMsg": {
+        "url": "https://snap.stanford.edu/data/CollegeMsg.txt.gz",
+    },
+    "email-Eu-core": {
+        "url": "https://snap.stanford.edu/data/email-Eu-core-temporal.txt.gz",
+    },
+    "mathoverflow": {
+        "url": "https://snap.stanford.edu/data/sx-mathoverflow.txt.gz",
+    },
+    "askubuntu": {
+        "url": "https://snap.stanford.edu/data/sx-askubuntu.txt.gz",
+    },
+    "superuser": {
+        "url": "https://snap.stanford.edu/data/sx-superuser.txt.gz",
+    },
+    "wiki-talk": {
+        "url": "https://snap.stanford.edu/data/wiki-talk-temporal.txt.gz",
+    },
+    "stackoverflow": {
+        "url": "https://snap.stanford.edu/data/sx-stackoverflow.txt.gz",
+    },
+    "higgs-activity": {
+        "url": "https://snap.stanford.edu/data/higgs-activity_time.txt.gz",
+        "cols": (0, 1, 2),  # drop the 4th (interaction type) column
+    },
+    "transactions": {
+        "url": None,
+        "note": "Czech bank transactions (Dataverse); fetch manually and "
+                "save as transactions.txt",
+    },
+    "friends2008": {
+        "url": None,
+        "note": "Konect friends network; fetch manually and save as "
+                "friends2008.txt",
+    },
+    "wiki-dynamic-nl": {
+        "url": None,
+        "note": "Konect wiki-dynamic-nl; fetch manually and save as "
+                "wiki-dynamic-nl.txt",
+    },
+    "messages": {
+        "url": None,
+        "note": "Konect messages network; fetch manually and save as "
+                "messages.txt",
+    },
+    "AML-Data": {
+        "url": None,
+        "note": "IBM AML-Data is not public; generate with AMLSim and save "
+                "as AML-Data.txt",
+    },
+}
+
+
+def sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def load_lock(dest: Path) -> dict:
+    lock_path = dest / "manifest.lock.json"
+    if lock_path.is_file():
+        with lock_path.open() as handle:
+            return json.load(handle)
+    return {}
+
+
+def save_lock(dest: Path, lock: dict) -> None:
+    lock_path = dest / "manifest.lock.json"
+    with lock_path.open("w") as handle:
+        json.dump(lock, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def normalise(raw: Path, out: Path, spec: dict) -> int:
+    """Rewrites `raw` as whitespace 'src dst ts' lines; returns edge count."""
+    sep = spec.get("sep")
+    cols = spec.get("cols")
+    edges = 0
+    with raw.open("r", encoding="utf-8", errors="replace") as src, \
+            out.open("w", encoding="utf-8") as dst:
+        for line in src:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            fields = line.split(sep) if sep else line.split()
+            if cols:
+                try:
+                    fields = [fields[c] for c in cols]
+                except IndexError:
+                    raise SystemExit(f"unexpected column layout in {raw}: "
+                                     f"{line!r}")
+            # Timestamps may arrive as floats (bitcoin CSVs); the parser
+            # wants integers.
+            fields[2] = str(int(float(fields[2])))
+            dst.write(f"{fields[0]} {fields[1]} {fields[2]}\n")
+            edges += 1
+    return edges
+
+
+def fetch_one(name: str, spec: dict, dest: Path, lock: dict,
+              dry_run: bool, force: bool) -> bool:
+    out = dest / f"{name}.txt"
+    if spec.get("url") is None:
+        print(f"SKIP  {name}: {spec['note']}")
+        return True
+    if out.is_file() and not force:
+        print(f"HAVE  {name}: {out}")
+        return True
+    if dry_run:
+        print(f"WOULD fetch {name}: {spec['url']} -> {out}")
+        return True
+
+    print(f"FETCH {name}: {spec['url']}")
+    with tempfile.TemporaryDirectory(dir=dest) as tmp_dir:
+        tmp = Path(tmp_dir)
+        compressed = tmp / "download.gz"
+        with urllib.request.urlopen(spec["url"]) as response, \
+                compressed.open("wb") as handle:
+            shutil.copyfileobj(response, handle)
+
+        raw = tmp / "raw.txt"
+        with gzip.open(compressed, "rb") as src, raw.open("wb") as dst:
+            shutil.copyfileobj(src, dst)
+
+        staged = tmp / f"{name}.txt"
+        edges = normalise(raw, staged, spec)
+        digest = sha256_of(staged)
+        recorded = lock.get(name, {}).get("sha256")
+        if recorded is not None and recorded != digest:
+            print(f"ERROR {name}: checksum mismatch\n"
+                  f"  recorded {recorded}\n"
+                  f"  fetched  {digest}\n"
+                  f"  (pass --force after deleting the lock entry if the "
+                  f"upstream file legitimately changed)", file=sys.stderr)
+            return False
+        staged.replace(out)
+        # A refreshed text file invalidates its binary-cache sidecar (the
+        # bench loaders would otherwise prefer the stale .pcg).
+        out.with_name(out.name + ".pcg").unlink(missing_ok=True)
+        lock[name] = {"sha256": digest, "edges": edges,
+                      "url": spec["url"]}
+        save_lock(dest, lock)
+        print(f"OK    {name}: {edges} edges, sha256 {digest[:16]}...")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dest", type=Path, default=None,
+                        help="target directory (default: $PARCYCLE_DATASET_DIR"
+                             ", else ./datasets)")
+    parser.add_argument("--only", nargs="+", metavar="NAME",
+                        help="fetch only these datasets (full names)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print what would be fetched; no network, no "
+                             "writes")
+    parser.add_argument("--list", action="store_true",
+                        help="list the manifest and exit")
+    parser.add_argument("--force", action="store_true",
+                        help="re-download even when the output file exists")
+    args = parser.parse_args()
+
+    if args.list:
+        for name, spec in MANIFEST.items():
+            url = spec.get("url") or f"(manual: {spec['note']})"
+            print(f"{name:18} {url}")
+        return 0
+
+    dest = args.dest or Path(os.environ.get("PARCYCLE_DATASET_DIR",
+                                            "datasets"))
+    names = args.only or list(MANIFEST)
+    unknown = [n for n in names if n not in MANIFEST]
+    if unknown:
+        print(f"unknown datasets: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        print(f"dry run; would fetch into {dest}")
+        lock = {}
+    else:
+        dest.mkdir(parents=True, exist_ok=True)
+        lock = load_lock(dest)
+
+    ok = True
+    for name in names:
+        ok &= fetch_one(name, MANIFEST[name], dest, lock,
+                        args.dry_run, args.force)
+    if ok and not args.dry_run:
+        print(f"done; point PARCYCLE_DATASET_DIR at {dest.resolve()}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

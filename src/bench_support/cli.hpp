@@ -1,10 +1,12 @@
 // Minimal shared CLI convention for bench/ and examples/ binaries: every
 // binary answers `--help`/`-h` with its usage text and exit code 0, so CI can
-// smoke-invoke all of them without running a full benchmark.
+// smoke-invoke all of them without running a full benchmark; dataset-aware
+// binaries accept the same `--dataset-dir` override of $PARCYCLE_DATASET_DIR.
 #pragma once
 
 #include <cstring>
 #include <iostream>
+#include <string>
 
 namespace parcycle {
 
@@ -18,6 +20,25 @@ inline bool help_requested(int argc, char** argv, const char* usage) {
     }
   }
   return false;
+}
+
+// Scans argv for `<name> <value>`; returns the value or "" when absent
+// (json_output_path delegates here). Mains that loop over argv themselves
+// still skip the flag and its argument in their loops.
+inline std::string cli_option_value(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+// Shared `--dataset-dir <dir>` flag: explicit value wins over the
+// $PARCYCLE_DATASET_DIR environment variable (read by the caller via
+// dataset_dir_from_env() when this returns "").
+inline std::string dataset_dir_from_cli(int argc, char** argv) {
+  return cli_option_value(argc, argv, "--dataset-dir");
 }
 
 }  // namespace parcycle

@@ -14,8 +14,11 @@
 #include <vector>
 
 #include "graph/temporal_graph.hpp"
+#include "io/edge_list.hpp"
 
 namespace parcycle {
+
+class Scheduler;
 
 struct DatasetSpec {
   std::string name;          // paper's abbreviation (BA, BO, CO, ...)
@@ -47,5 +50,50 @@ TemporalGraph build_dataset(const DatasetSpec& spec);
 
 // Lookup by abbreviation; throws std::out_of_range if unknown.
 const DatasetSpec& dataset_by_name(const std::string& name);
+
+// -- Real-dataset resolution -------------------------------------------------
+//
+// Each registry entry resolves to a DatasetSource: the synthetic analog by
+// default, or a real downloaded graph (scripts/fetch_datasets.py) when one is
+// discovered under the dataset directory. CI never sets the directory, so it
+// stays hermetic; a machine with fetched data transparently benches the real
+// graphs, and tables/JSON label the provenance.
+
+enum class DatasetProvenance {
+  kSynthetic,  // generated analog (dataset_registry() parameters)
+  kRealText,   // fetched edge-list file, parsed at load time
+  kRealCache,  // binary .pcg cache of a fetched file, streamed at load time
+};
+
+const char* provenance_name(DatasetProvenance provenance);
+
+struct DatasetSource {
+  const DatasetSpec* spec = nullptr;
+  DatasetProvenance provenance = DatasetProvenance::kSynthetic;
+  std::string path;  // empty for synthetic
+
+  bool is_real() const noexcept {
+    return provenance != DatasetProvenance::kSynthetic;
+  }
+
+  // Materialises the graph. Real text files parse in parallel when `sched`
+  // is non-null; with update_cache they also write a sidecar "<path>.pcg"
+  // so the next run streams the cache instead. Synthetic sources ignore all
+  // arguments except that `stats` (when given) reports zero parse work.
+  TemporalGraph load(Scheduler* sched = nullptr, LoadStats* stats = nullptr,
+                     bool update_cache = false) const;
+};
+
+// $PARCYCLE_DATASET_DIR, or empty (synthetic-only) when unset.
+std::string dataset_dir_from_env();
+
+// Finds a real file for `spec` under `dir`: "<full_name>.pcg" first (cache
+// beats re-parse), then "<full_name>" with .txt/.edges/.csv/no extension,
+// then the same spellings of the short name. Empty or missing `dir`, or no
+// matching file, resolves to the synthetic analog.
+DatasetSource resolve_dataset(const DatasetSpec& spec, const std::string& dir);
+
+// resolve_dataset against $PARCYCLE_DATASET_DIR.
+DatasetSource resolve_dataset(const DatasetSpec& spec);
 
 }  // namespace parcycle

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstring>
+
+#include "bench_support/cli.hpp"
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -207,12 +209,7 @@ std::unique_ptr<JsonBaselineFile> JsonBaselineFile::open(
 JsonBaselineFile::~JsonBaselineFile() = default;
 
 std::string json_output_path(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      return argv[i + 1];
-    }
-  }
-  return {};
+  return cli_option_value(argc, argv, "--json");
 }
 
 }  // namespace parcycle

@@ -1,30 +1,6 @@
-// Plain-text edge-list IO in the SNAP style: one edge per line,
-// "src dst [timestamp]", with '#' comment lines. This is the format of the
-// public datasets the paper evaluates on, so graphs downloaded later drop in
-// without conversion.
+// Compatibility shim: edge-list IO moved to the ingestion subsystem under
+// src/io/ (parallel parsing, LoadStats, binary cache). Include
+// "io/edge_list.hpp" (and "io/graph_cache.hpp") directly in new code.
 #pragma once
 
-#include <iosfwd>
-#include <string>
-
-#include "graph/temporal_graph.hpp"
-
-namespace parcycle {
-
-struct EdgeListOptions {
-  bool drop_self_loops = false;
-  // Treat a missing third column as timestamp 0.
-  bool allow_missing_timestamps = true;
-};
-
-// Throws std::runtime_error on malformed input or unreadable files.
-TemporalGraph load_temporal_edge_list(std::istream& in,
-                                      const EdgeListOptions& options = {});
-TemporalGraph load_temporal_edge_list_file(const std::string& path,
-                                           const EdgeListOptions& options = {});
-
-void save_temporal_edge_list(const TemporalGraph& graph, std::ostream& out);
-void save_temporal_edge_list_file(const TemporalGraph& graph,
-                                  const std::string& path);
-
-}  // namespace parcycle
+#include "io/edge_list.hpp"

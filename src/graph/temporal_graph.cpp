@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace parcycle {
 
@@ -41,20 +43,85 @@ TemporalGraph::TemporalGraph(VertexId num_vertices,
     out_offsets_[v + 1] += out_offsets_[v];
     in_offsets_[v + 1] += in_offsets_[v];
   }
+  fill_adjacency();
+}
+
+void TemporalGraph::fill_adjacency() {
   out_edges_.resize(edges_by_time_.size());
   in_edges_.resize(edges_by_time_.size());
-  {
-    std::vector<std::size_t> out_cursor(out_offsets_.begin(),
-                                        out_offsets_.end() - 1);
-    std::vector<std::size_t> in_cursor(in_offsets_.begin(),
-                                       in_offsets_.end() - 1);
-    // Iterating edges in (ts, id) order keeps every adjacency list sorted by
-    // (ts, id) without a per-list sort.
-    for (const auto& e : edges_by_time_) {
-      out_edges_[out_cursor[e.src]++] = OutEdge{e.dst, e.ts, e.id};
-      in_edges_[in_cursor[e.dst]++] = InEdge{e.src, e.ts, e.id};
+  std::vector<std::size_t> out_cursor(out_offsets_.begin(),
+                                      out_offsets_.end() - 1);
+  std::vector<std::size_t> in_cursor(in_offsets_.begin(),
+                                     in_offsets_.end() - 1);
+  // Iterating edges in (ts, id) order keeps every adjacency list sorted by
+  // (ts, id) without a per-list sort.
+  for (const auto& e : edges_by_time_) {
+    out_edges_[out_cursor[e.src]++] = OutEdge{e.dst, e.ts, e.id};
+    in_edges_[in_cursor[e.dst]++] = InEdge{e.src, e.ts, e.id};
+  }
+}
+
+TemporalGraph TemporalGraph::from_sorted_parts(VertexId num_vertices,
+                                               SortedParts parts) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(
+        std::string("TemporalGraph::from_sorted_parts: ") + what);
+  };
+  const std::size_t num_edges = parts.edges_by_time.size();
+  const std::size_t num_offsets = static_cast<std::size_t>(num_vertices) + 1;
+  if (parts.out_offsets.size() != num_offsets ||
+      parts.in_offsets.size() != num_offsets) {
+    fail("offset array size mismatch");
+  }
+  for (const auto* offsets : {&parts.out_offsets, &parts.in_offsets}) {
+    if (offsets->front() != 0 || offsets->back() != num_edges) {
+      fail("offset array endpoints inconsistent with edge count");
+    }
+    if (!std::is_sorted(offsets->begin(), offsets->end())) {
+      fail("offset array not monotone");
     }
   }
+  std::vector<std::size_t> out_degree(num_vertices, 0);
+  std::vector<std::size_t> in_degree(num_vertices, 0);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const TemporalEdge& e = parts.edges_by_time[i];
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      fail("edge endpoint out of range");
+    }
+    if (e.id != static_cast<EdgeId>(i)) {
+      fail("edge id does not equal its (ts, src, dst) rank");
+    }
+    if (i > 0) {
+      const TemporalEdge& prev = parts.edges_by_time[i - 1];
+      const bool ordered =
+          prev.ts != e.ts
+              ? prev.ts < e.ts
+              : (prev.src != e.src ? prev.src < e.src : prev.dst <= e.dst);
+      if (!ordered) {
+        fail("edges not sorted by (ts, src, dst)");
+      }
+    }
+    out_degree[e.src] += 1;
+    in_degree[e.dst] += 1;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (parts.out_offsets[v + 1] - parts.out_offsets[v] != out_degree[v] ||
+        parts.in_offsets[v + 1] - parts.in_offsets[v] != in_degree[v]) {
+      fail("offset array disagrees with edge degrees");
+    }
+  }
+
+  TemporalGraph graph;
+  graph.num_vertices_ = num_vertices;
+  graph.edges_by_time_ = std::move(parts.edges_by_time);
+  graph.out_offsets_ = std::move(parts.out_offsets);
+  graph.in_offsets_ = std::move(parts.in_offsets);
+  if (!graph.edges_by_time_.empty()) {
+    graph.min_ts_ = graph.edges_by_time_.front().ts;
+    graph.max_ts_ = graph.edges_by_time_.back().ts;
+  }
+  graph.fill_adjacency();
+  return graph;
 }
 
 std::span<const TemporalGraph::OutEdge> TemporalGraph::out_edges_in_window(

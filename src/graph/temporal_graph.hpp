@@ -35,6 +35,22 @@ class TemporalGraph {
   // `edges` need not be sorted; ids are (re)assigned by (ts, src, dst) rank.
   TemporalGraph(VertexId num_vertices, std::vector<TemporalEdge> edges);
 
+  // Pre-sorted representation parts, as persisted by the binary graph cache
+  // (io/graph_cache.hpp): edges in ascending (ts, src, dst) order with
+  // ids equal to their index, plus the CSR offset arrays derived from them.
+  struct SortedParts {
+    std::vector<TemporalEdge> edges_by_time;
+    std::vector<std::size_t> out_offsets;  // size num_vertices + 1
+    std::vector<std::size_t> in_offsets;   // size num_vertices + 1
+  };
+
+  // Adopts `parts` without re-sorting: the cache fast path. Validates order,
+  // ids, endpoint ranges, and offset consistency in O(E) and throws
+  // std::invalid_argument on any violation, so a corrupted or hand-edited
+  // cache can never produce a graph that breaks algorithm invariants.
+  static TemporalGraph from_sorted_parts(VertexId num_vertices,
+                                         SortedParts parts);
+
   VertexId num_vertices() const noexcept { return num_vertices_; }
   EdgeId num_edges() const noexcept {
     return static_cast<EdgeId>(edges_by_time_.size());
@@ -75,6 +91,9 @@ class TemporalGraph {
   Digraph static_projection() const;
 
  private:
+  // Scatters edges_by_time_ into out_edges_/in_edges_; offsets must be set.
+  void fill_adjacency();
+
   VertexId num_vertices_ = 0;
   std::vector<TemporalEdge> edges_by_time_;
   std::vector<std::size_t> out_offsets_{0};

@@ -1,0 +1,442 @@
+#include "io/edge_list.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+
+namespace {
+
+// Horizontal whitespace: everything isspace() matches except '\n', which is
+// the line separator and must never be skipped inside a line. '\r' lands
+// here, which is what makes CRLF input parse identically to LF input.
+inline bool is_hspace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+inline const char* skip_hspace(const char* p, const char* end) {
+  while (p != end && is_hspace(*p)) {
+    ++p;
+  }
+  return p;
+}
+
+// One chunk's parse product. Line numbers are chunk-relative; the caller
+// turns them absolute by prefix-summing the line counts of earlier chunks.
+struct ChunkOutcome {
+  std::vector<TemporalEdge> edges;
+  std::uint64_t lines = 0;
+  std::uint64_t comment_lines = 0;
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t max_vertex_plus_1 = 0;  // over kept edges only
+  bool has_error = false;
+  std::uint64_t error_line = 0;  // 1-based within the chunk
+  std::string error_message;
+};
+
+// Parse failures inside a line, turned into runtime_errors with absolute
+// line numbers by the chunk driver.
+enum class LineError {
+  kNone,
+  kMalformed,
+  kVertexOutOfRange,
+  kMissingTimestamp,
+};
+
+const char* line_error_message(LineError error) {
+  switch (error) {
+    case LineError::kMalformed:
+      return "malformed edge list";
+    case LineError::kVertexOutOfRange:
+      return "vertex id out of range";
+    case LineError::kMissingTimestamp:
+      return "missing timestamp";
+    case LineError::kNone:
+      break;
+  }
+  return "edge list parse error";
+}
+
+// Parses "src dst [ts]" from a comment-stripped line. Returns kNone and sets
+// `edge` when the line holds an edge; `blank` when it holds nothing.
+LineError parse_edge_line(const char* p, const char* end,
+                          const EdgeListOptions& options, TemporalEdge& edge,
+                          bool& blank) {
+  blank = false;
+  p = skip_hspace(p, end);
+  if (p == end) {
+    blank = true;
+    return LineError::kNone;
+  }
+
+  const auto parse_vertex = [&](VertexId& out) -> LineError {
+    std::uint64_t value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec == std::errc::result_out_of_range) {
+      return LineError::kVertexOutOfRange;
+    }
+    if (ec != std::errc() || (next != end && !is_hspace(*next))) {
+      return LineError::kMalformed;
+    }
+    if (value >= kInvalidVertex) {
+      return LineError::kVertexOutOfRange;
+    }
+    out = static_cast<VertexId>(value);
+    p = next;
+    return LineError::kNone;
+  };
+
+  if (const LineError err = parse_vertex(edge.src); err != LineError::kNone) {
+    return err;
+  }
+  p = skip_hspace(p, end);
+  if (p == end) {
+    return LineError::kMalformed;  // destination column missing
+  }
+  if (const LineError err = parse_vertex(edge.dst); err != LineError::kNone) {
+    return err;
+  }
+
+  p = skip_hspace(p, end);
+  if (p == end) {
+    if (!options.allow_missing_timestamps) {
+      return LineError::kMissingTimestamp;
+    }
+    edge.ts = 0;
+    return LineError::kNone;
+  }
+  std::int64_t ts = 0;
+  const auto [next, ec] = std::from_chars(p, end, ts);
+  if (ec != std::errc() || (next != end && !is_hspace(*next))) {
+    return LineError::kMalformed;
+  }
+  edge.ts = static_cast<Timestamp>(ts);
+  // Columns beyond the third are ignored: several SNAP files (e.g.
+  // higgs-activity) carry a fourth annotation column.
+  return LineError::kNone;
+}
+
+// Parses every line of `chunk`. Stops at (and records) the first error but
+// keeps counting lines so earlier chunks' totals stay exact for the
+// prefix-sum that produces absolute error line numbers.
+//
+// Everything accumulates into a function-local outcome that is moved into
+// the shared result slot once at the end: neighbouring ChunkOutcome elements
+// sit on common cache lines, and per-line writes through them would put
+// false sharing in the middle of the tokenizer loop.
+void parse_chunk(std::string_view chunk, const EdgeListOptions& options,
+                 ChunkOutcome& result) {
+  ChunkOutcome out;
+  const char* p = chunk.data();
+  const char* const end = p + chunk.size();
+  // Rough guess: SNAP lines average ~20 bytes.
+  out.edges.reserve(chunk.size() / 16 + 1);
+  while (p != end) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    const char* line_end = nl != nullptr ? nl : end;
+    out.lines += 1;
+    // Strip a trailing comment; everything from '#' on is commentary.
+    if (const char* hash = static_cast<const char*>(std::memchr(
+            p, '#', static_cast<std::size_t>(line_end - p)));
+        hash != nullptr) {
+      line_end = hash;
+    }
+    TemporalEdge edge;
+    bool blank = false;
+    const LineError err = parse_edge_line(p, line_end, options, edge, blank);
+    if (err != LineError::kNone) {
+      out.has_error = true;
+      out.error_line = out.lines;
+      out.error_message = line_error_message(err);
+      break;
+    }
+    if (blank) {
+      out.comment_lines += 1;
+    } else if (options.drop_self_loops && edge.src == edge.dst) {
+      out.self_loops_dropped += 1;
+    } else {
+      out.max_vertex_plus_1 =
+          std::max<std::uint64_t>(out.max_vertex_plus_1,
+                                  std::uint64_t{std::max(edge.src, edge.dst)} + 1);
+      out.edges.push_back(edge);
+    }
+    if (nl == nullptr) {
+      break;
+    }
+    p = nl + 1;
+  }
+  result = std::move(out);
+}
+
+std::string_view strip_bom(std::string_view text) {
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);  // UTF-8 BOM from Windows-saved files
+  }
+  return text;
+}
+
+// Chunk boundaries always land just after a newline, so no line straddles
+// two chunks and every chunk parses independently.
+std::vector<std::string_view> split_at_newlines(std::string_view text,
+                                                std::size_t target_bytes) {
+  std::vector<std::string_view> chunks;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = begin + target_bytes;
+    if (end >= text.size()) {
+      end = text.size();
+    } else {
+      const std::size_t nl = text.find('\n', end);
+      end = nl == std::string_view::npos ? text.size() : nl + 1;
+    }
+    chunks.push_back(text.substr(begin, end - begin));
+    begin = end;
+  }
+  return chunks;
+}
+
+[[noreturn]] void throw_parse_error(const ChunkOutcome& chunk,
+                                    std::uint64_t lines_before) {
+  throw std::runtime_error(chunk.error_message + " at line " +
+                           std::to_string(lines_before + chunk.error_line));
+}
+
+// Merges chunk outcomes (in input order) into stats + one edge vector and
+// finalises the graph. Throws on the earliest recorded parse error.
+TemporalGraph assemble(std::vector<ChunkOutcome>& chunks,
+                       const EdgeListOptions& options, LoadStats* stats,
+                       std::uint64_t input_bytes) {
+  std::uint64_t lines_before = 0;
+  std::size_t total_edges = 0;
+  for (const ChunkOutcome& chunk : chunks) {
+    if (chunk.has_error) {
+      throw_parse_error(chunk, lines_before);
+    }
+    lines_before += chunk.lines;
+    total_edges += chunk.edges.size();
+  }
+
+  std::vector<TemporalEdge> edges;
+  edges.reserve(total_edges);
+  std::uint64_t max_vertex_plus_1 = 0;
+  LoadStats local;
+  local.bytes = input_bytes;
+  local.parse_chunks = std::max<std::uint64_t>(chunks.size(), 1);
+  for (ChunkOutcome& chunk : chunks) {
+    local.lines += chunk.lines;
+    local.comment_lines += chunk.comment_lines;
+    local.self_loops_dropped += chunk.self_loops_dropped;
+    max_vertex_plus_1 = std::max(max_vertex_plus_1, chunk.max_vertex_plus_1);
+    edges.insert(edges.end(), chunk.edges.begin(), chunk.edges.end());
+    chunk.edges.clear();
+    chunk.edges.shrink_to_fit();  // cap peak memory at ~2x the edge array
+  }
+
+  if (options.drop_duplicate_edges && !edges.empty()) {
+    std::sort(edges.begin(), edges.end(),
+              [](const TemporalEdge& a, const TemporalEdge& b) {
+                if (a.ts != b.ts) return a.ts < b.ts;
+                if (a.src != b.src) return a.src < b.src;
+                return a.dst < b.dst;
+              });
+    const auto last = std::unique(edges.begin(), edges.end(),
+                                  [](const TemporalEdge& a,
+                                     const TemporalEdge& b) {
+                                    return a.ts == b.ts && a.src == b.src &&
+                                           a.dst == b.dst;
+                                  });
+    local.duplicate_edges_dropped =
+        static_cast<std::uint64_t>(edges.end() - last);
+    edges.erase(last, edges.end());
+  }
+  local.edges_loaded = edges.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return TemporalGraph(static_cast<VertexId>(max_vertex_plus_1),
+                       std::move(edges));
+}
+
+// Whole input, read or mapped. mmap is the multi-gigabyte path (no copy, the
+// page cache streams); the read fallback covers filesystems without mmap.
+class InputBuffer {
+ public:
+  InputBuffer() = default;
+  InputBuffer(const InputBuffer&) = delete;
+  InputBuffer& operator=(const InputBuffer&) = delete;
+  ~InputBuffer() {
+    if (map_ != nullptr) {
+      ::munmap(map_, map_size_);
+    }
+  }
+
+  static InputBuffer open(const std::string& path) {
+    InputBuffer buffer;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw std::runtime_error("cannot open edge list file: " + path);
+    }
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+      ::close(fd);
+      throw std::runtime_error("cannot stat edge list file: " + path);
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        buffer.map_ = map;
+        buffer.map_size_ = size;
+      } else {
+        buffer.owned_.resize(size);
+        std::size_t done = 0;
+        while (done < size) {
+          const ::ssize_t n =
+              ::read(fd, buffer.owned_.data() + done, size - done);
+          if (n <= 0) {
+            ::close(fd);
+            throw std::runtime_error("cannot read edge list file: " + path);
+          }
+          done += static_cast<std::size_t>(n);
+        }
+      }
+    }
+    ::close(fd);
+    return buffer;
+  }
+
+  std::string_view view() const noexcept {
+    if (map_ != nullptr) {
+      return {static_cast<const char*>(map_), map_size_};
+    }
+    return owned_;
+  }
+
+ private:
+  // Moves must null the source's mapping: a defaulted move would leave two
+  // owners and the moved-from destructor would munmap the live region
+  // whenever the compiler declines NRVO for open()'s return.
+  InputBuffer(InputBuffer&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        map_(std::exchange(other.map_, nullptr)),
+        map_size_(std::exchange(other.map_size_, 0)) {}
+
+  std::string owned_;
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+};
+
+std::size_t pick_chunk_bytes(std::size_t input_size,
+                             const EdgeListOptions& options,
+                             unsigned num_workers) {
+  if (options.parallel_chunk_bytes > 0) {
+    return options.parallel_chunk_bytes;
+  }
+  // Several chunks per worker so the scheduler can balance skewed chunk
+  // costs, but never so small that task overhead dominates the tokenizer.
+  constexpr std::size_t kMinChunk = std::size_t{1} << 20;
+  constexpr std::size_t kMaxChunk = std::size_t{64} << 20;
+  const std::size_t per_worker =
+      input_size / (std::max(num_workers, 1u) * std::size_t{8}) + 1;
+  return std::clamp(per_worker, kMinChunk, kMaxChunk);
+}
+
+}  // namespace
+
+TemporalGraph parse_temporal_edge_list(std::string_view text,
+                                       const EdgeListOptions& options,
+                                       LoadStats* stats) {
+  text = strip_bom(text);
+  std::vector<ChunkOutcome> chunks(1);
+  parse_chunk(text, options, chunks.front());
+  return assemble(chunks, options, stats, text.size());
+}
+
+TemporalGraph parse_temporal_edge_list_parallel(std::string_view text,
+                                                Scheduler& sched,
+                                                const EdgeListOptions& options,
+                                                LoadStats* stats) {
+  text = strip_bom(text);
+  const std::vector<std::string_view> pieces = split_at_newlines(
+      text, pick_chunk_bytes(text.size(), options, sched.num_workers()));
+  std::vector<ChunkOutcome> chunks(std::max<std::size_t>(pieces.size(), 1));
+  if (pieces.size() <= 1) {
+    if (!pieces.empty()) {
+      parse_chunk(pieces.front(), options, chunks.front());
+    }
+    return assemble(chunks, options, stats, text.size());
+  }
+
+  TaskGroup group(sched);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    const std::string_view piece = pieces[i];
+    ChunkOutcome* out = &chunks[i];
+    const EdgeListOptions* opts = &options;
+    auto task = [piece, opts, out] { parse_chunk(piece, *opts, *out); };
+    // Chunk tasks must ride the zero-allocation slab spawn path; a closure
+    // outgrowing the slab block would silently fall back to the heap.
+    static_assert(spawn_uses_slab_v<decltype(task)>);
+    group.spawn(std::move(task));
+  }
+  group.wait();
+  return assemble(chunks, options, stats, text.size());
+}
+
+TemporalGraph load_temporal_edge_list(std::istream& in,
+                                      const EdgeListOptions& options,
+                                      LoadStats* stats) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("cannot read edge list stream");
+  }
+  return parse_temporal_edge_list(buffer.str(), options, stats);
+}
+
+TemporalGraph load_temporal_edge_list_file(const std::string& path,
+                                           const EdgeListOptions& options,
+                                           LoadStats* stats) {
+  const InputBuffer buffer = InputBuffer::open(path);
+  return parse_temporal_edge_list(buffer.view(), options, stats);
+}
+
+TemporalGraph load_temporal_edge_list_file_parallel(
+    const std::string& path, Scheduler& sched, const EdgeListOptions& options,
+    LoadStats* stats) {
+  const InputBuffer buffer = InputBuffer::open(path);
+  return parse_temporal_edge_list_parallel(buffer.view(), sched, options,
+                                           stats);
+}
+
+void save_temporal_edge_list(const TemporalGraph& graph, std::ostream& out) {
+  out << "# parcycle temporal edge list: src dst ts\n";
+  for (const auto& e : graph.edges_by_time()) {
+    out << e.src << ' ' << e.dst << ' ' << e.ts << '\n';
+  }
+}
+
+void save_temporal_edge_list_file(const TemporalGraph& graph,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open output file: " + path);
+  }
+  save_temporal_edge_list(graph, out);
+}
+
+}  // namespace parcycle

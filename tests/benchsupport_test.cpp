@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "bench_support/datasets.hpp"
@@ -110,6 +114,66 @@ TEST(Datasets, AnalogsBuildDeterministically) {
   EXPECT_EQ(a.num_vertices(), spec.vertices);
   EXPECT_EQ(a.num_edges(), spec.edges);
   EXPECT_EQ(a.edge(0).ts, b.edge(0).ts);
+}
+
+TEST(Datasets, ResolveFallsBackToSyntheticWithoutDirectory) {
+  const auto& spec = dataset_by_name("BA");
+  const DatasetSource none = resolve_dataset(spec, "");
+  EXPECT_FALSE(none.is_real());
+  EXPECT_EQ(none.provenance, DatasetProvenance::kSynthetic);
+  EXPECT_TRUE(none.path.empty());
+  const DatasetSource missing = resolve_dataset(spec, "/nonexistent/dir");
+  EXPECT_FALSE(missing.is_real());
+  const TemporalGraph graph = none.load();
+  EXPECT_EQ(graph.num_edges(), spec.edges);
+}
+
+TEST(Datasets, ResolveDiscoversRealFilesAndPrefersCaches) {
+  const auto& spec = dataset_by_name("CO");
+  const std::string dir = testing::TempDir();
+  const std::string text_path =
+      (std::filesystem::path(dir) / (spec.full_name + ".txt")).string();
+  {
+    std::ofstream out(text_path);
+    out << "0 1 10\n1 2 20\n2 0 30\n";
+  }
+  const DatasetSource text = resolve_dataset(spec, dir);
+  ASSERT_TRUE(text.is_real());
+  EXPECT_EQ(text.provenance, DatasetProvenance::kRealText);
+  EXPECT_EQ(text.path, text_path);
+
+  // Loading with update_cache writes the sidecar; resolution then prefers
+  // streaming it over re-parsing the text.
+  LoadStats stats;
+  const TemporalGraph parsed =
+      text.load(nullptr, &stats, /*update_cache=*/true);
+  EXPECT_EQ(parsed.num_edges(), 3u);
+  EXPECT_EQ(stats.edges_loaded, 3u);
+  const DatasetSource cached = resolve_dataset(spec, dir);
+  ASSERT_TRUE(cached.is_real());
+  EXPECT_EQ(cached.provenance, DatasetProvenance::kRealCache);
+  EXPECT_EQ(cached.path, text_path + ".pcg");
+  const TemporalGraph reloaded = cached.load();
+  ASSERT_EQ(reloaded.num_edges(), parsed.num_edges());
+  EXPECT_EQ(reloaded.edge(0).src, parsed.edge(0).src);
+
+  // A re-fetched (newer) text file must not be shadowed by the stale cache.
+  std::filesystem::last_write_time(
+      text_path, std::filesystem::last_write_time(text_path + ".pcg") +
+                     std::chrono::seconds(2));
+  const DatasetSource refreshed = resolve_dataset(spec, dir);
+  ASSERT_TRUE(refreshed.is_real());
+  EXPECT_EQ(refreshed.provenance, DatasetProvenance::kRealText);
+  EXPECT_EQ(refreshed.path, text_path);
+
+  std::remove((text_path + ".pcg").c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(Datasets, ProvenanceNames) {
+  EXPECT_STREQ(provenance_name(DatasetProvenance::kSynthetic), "analog");
+  EXPECT_STREQ(provenance_name(DatasetProvenance::kRealText), "real");
+  EXPECT_STREQ(provenance_name(DatasetProvenance::kRealCache), "real-cache");
 }
 
 TEST(Partition, RoundRobinByTimestampOrder) {

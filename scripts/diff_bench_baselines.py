@@ -128,9 +128,41 @@ def diff_hop_constrained(base, fresh, args):
                     )
 
 
+def diff_stream(base, fresh, args):
+    del args  # the streaming searches carry no shared blocking state, so
+    # cycle counts, edge visits and escalation decisions are deterministic
+    # across schedules and compare exactly; throughput and latency are
+    # informational.
+    for field in ("batch_size", "hot_threshold", "prune_frontier", "max_length"):
+        check_exact("stream", field, base.get(field), fresh.get(field))
+    base_sets = index_by(base["datasets"], "name", "stream")
+    fresh_sets = index_by(fresh["datasets"], "name", "stream")
+    for name in match_keys(base_sets, fresh_sets, "dataset", "stream"):
+        b, f = base_sets[name], fresh_sets[name]
+        ctx = f"stream/{name}"
+        for field in ("window", "edges", "batch_cycles"):
+            check_exact(ctx, field, b[field], f[field])
+        b_rows = index_by(b["rows"], "threads", ctx)
+        f_rows = index_by(f["rows"], "threads", ctx)
+        for threads in match_keys(b_rows, f_rows, "thread count", ctx):
+            br, fr = b_rows[threads], f_rows[threads]
+            row_ctx = f"{ctx}/threads={threads}"
+            check_exact(row_ctx, "cycles", br["cycles"], fr["cycles"])
+            check_exact(
+                row_ctx, "edges_visited", br["edges_visited"], fr["edges_visited"]
+            )
+            check_exact(
+                row_ctx,
+                "escalated_edges",
+                br["escalated_edges"],
+                fr["escalated_edges"],
+            )
+
+
 SCHEMAS = {
     "table4_datasets": diff_table4,
     "hop_constrained": diff_hop_constrained,
+    "stream": diff_stream,
 }
 
 

@@ -1,27 +1,106 @@
 #include "graph/temporal_graph.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "support/scheduler.hpp"
+
 namespace parcycle {
+
+namespace {
+
+inline bool edge_rank_less(const TemporalEdge& a, const TemporalEdge& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
+// Below this, task overhead outweighs the parallel sort/fill.
+constexpr std::size_t kParallelFinaliseMinEdges = std::size_t{1} << 15;
+
+// Parallel merge sort: sort `runs` contiguous chunks as tasks, then merge
+// pairs level by level (each level's merges are independent tasks). SNAP
+// inputs arrive almost timestamp-sorted per chunk, which std::sort and the
+// run merges both exploit well.
+void parallel_sort_edges(std::vector<TemporalEdge>& edges, Scheduler& sched) {
+  const std::size_t runs =
+      std::bit_ceil<std::size_t>(std::max(2u, sched.num_workers()));
+  const std::size_t n = edges.size();
+  const std::size_t run_len = (n + runs - 1) / runs;
+  // Run boundaries (some trailing runs may be empty on small inputs).
+  std::vector<std::size_t> bounds;
+  for (std::size_t lo = 0; lo <= n; lo += run_len) {
+    bounds.push_back(std::min(lo, n));
+  }
+  while (bounds.size() < runs + 1) {
+    bounds.push_back(n);
+  }
+  bounds.back() = n;
+
+  {
+    TaskGroup group(sched);
+    for (std::size_t r = 0; r < runs; ++r) {
+      const std::size_t lo = bounds[r];
+      const std::size_t hi = bounds[r + 1];
+      if (hi - lo > 1) {
+        group.spawn([&edges, lo, hi] {
+          std::sort(edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                    edges.begin() + static_cast<std::ptrdiff_t>(hi),
+                    edge_rank_less);
+        });
+      }
+    }
+    group.wait();
+  }
+  for (std::size_t width = 1; width < runs; width *= 2) {
+    TaskGroup group(sched);
+    for (std::size_t r = 0; r + width < runs; r += 2 * width) {
+      const std::size_t lo = bounds[r];
+      const std::size_t mid = bounds[r + width];
+      const std::size_t hi = bounds[std::min(r + 2 * width, runs)];
+      if (lo < mid && mid < hi) {
+        group.spawn([&edges, lo, mid, hi] {
+          std::inplace_merge(edges.begin() + static_cast<std::ptrdiff_t>(lo),
+                             edges.begin() + static_cast<std::ptrdiff_t>(mid),
+                             edges.begin() + static_cast<std::ptrdiff_t>(hi),
+                             edge_rank_less);
+        });
+      }
+    }
+    group.wait();
+  }
+}
+
+}  // namespace
 
 TemporalGraph::TemporalGraph(VertexId num_vertices,
                              std::vector<TemporalEdge> edges)
+    : TemporalGraph(num_vertices, std::move(edges), nullptr) {}
+
+TemporalGraph::TemporalGraph(VertexId num_vertices,
+                             std::vector<TemporalEdge> edges, Scheduler* sched)
     : num_vertices_(num_vertices) {
   for ([[maybe_unused]] const auto& e : edges) {
     assert(e.src < num_vertices && e.dst < num_vertices);
   }
-  std::sort(edges.begin(), edges.end(),
-            [](const TemporalEdge& a, const TemporalEdge& b) {
-              if (a.ts != b.ts) return a.ts < b.ts;
-              if (a.src != b.src) return a.src < b.src;
-              return a.dst < b.dst;
-            });
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    edges[i].id = static_cast<EdgeId>(i);
+  const bool parallel = sched != nullptr && sched->num_workers() > 1 &&
+                        edges.size() >= kParallelFinaliseMinEdges;
+  if (parallel) {
+    parallel_sort_edges(edges, *sched);
+    parallel_for_chunked(*sched, 0, edges.size(),
+                         std::size_t{4} * sched->num_workers(),
+                         [&edges](std::size_t i) {
+                           edges[i].id = static_cast<EdgeId>(i);
+                         });
+  } else {
+    std::sort(edges.begin(), edges.end(), edge_rank_less);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      edges[i].id = static_cast<EdgeId>(i);
+    }
   }
   edges_by_time_ = std::move(edges);
 
@@ -32,18 +111,112 @@ TemporalGraph::TemporalGraph(VertexId num_vertices,
     min_ts_ = edges_by_time_.front().ts;
     max_ts_ = edges_by_time_.back().ts;
   }
+  build_adjacency(parallel ? sched : nullptr);
+}
+
+void TemporalGraph::build_adjacency(Scheduler* sched) {
+  const std::size_t num_edges = edges_by_time_.size();
+  // The per-chunk count arrays cost 2 * chunks * V words of transient
+  // memory; cap the chunk count so that stays within a small multiple of
+  // the edge array itself (2 * chunks * V <= 4 * E), falling back to the
+  // serial fill when even two chunks would not fit the budget.
+  const std::size_t chunk_budget =
+      num_vertices_ > 0 ? (std::size_t{2} * num_edges) /
+                              static_cast<std::size_t>(num_vertices_)
+                        : 0;
+  const std::size_t chunks = std::min<std::size_t>(
+      sched != nullptr ? sched->num_workers() : 1, chunk_budget);
+  const bool parallel = sched != nullptr && sched->num_workers() > 1 &&
+                        num_edges >= kParallelFinaliseMinEdges && chunks >= 2;
+  if (!parallel) {
+    out_offsets_.assign(num_vertices_ + 1, 0);
+    in_offsets_.assign(num_vertices_ + 1, 0);
+    for (const auto& e : edges_by_time_) {
+      out_offsets_[e.src + 1] += 1;
+      in_offsets_[e.dst + 1] += 1;
+    }
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      out_offsets_[v + 1] += out_offsets_[v];
+      in_offsets_[v + 1] += in_offsets_[v];
+    }
+    fill_adjacency();
+    return;
+  }
+
+  const std::size_t chunk_len = (num_edges + chunks - 1) / chunks;
+  const std::size_t v_count = num_vertices_;
+  // counts[c * V + v]: chunk c's degree of v; turned into that chunk's
+  // scatter cursor for v by the per-vertex exclusive scan below.
+  std::vector<std::size_t> out_counts(chunks * v_count, 0);
+  std::vector<std::size_t> in_counts(chunks * v_count, 0);
+  {
+    TaskGroup group(*sched);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk_len;
+      const std::size_t hi = std::min(num_edges, lo + chunk_len);
+      if (lo >= hi) {
+        continue;
+      }
+      std::size_t* out_row = out_counts.data() + c * v_count;
+      std::size_t* in_row = in_counts.data() + c * v_count;
+      const TemporalEdge* base = edges_by_time_.data();
+      group.spawn([base, lo, hi, out_row, in_row] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out_row[base[i].src] += 1;
+          in_row[base[i].dst] += 1;
+        }
+      });
+    }
+    group.wait();
+  }
 
   out_offsets_.assign(num_vertices_ + 1, 0);
   in_offsets_.assign(num_vertices_ + 1, 0);
-  for (const auto& e : edges_by_time_) {
-    out_offsets_[e.src + 1] += 1;
-    in_offsets_[e.dst + 1] += 1;
+  std::size_t out_base = 0;
+  std::size_t in_base = 0;
+  for (std::size_t v = 0; v < v_count; ++v) {
+    out_offsets_[v] = out_base;
+    in_offsets_[v] = in_base;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t out_deg = out_counts[c * v_count + v];
+      out_counts[c * v_count + v] = out_base;
+      out_base += out_deg;
+      const std::size_t in_deg = in_counts[c * v_count + v];
+      in_counts[c * v_count + v] = in_base;
+      in_base += in_deg;
+    }
   }
-  for (VertexId v = 0; v < num_vertices_; ++v) {
-    out_offsets_[v + 1] += out_offsets_[v];
-    in_offsets_[v + 1] += in_offsets_[v];
+  out_offsets_[v_count] = out_base;
+  in_offsets_[v_count] = in_base;
+
+  out_edges_.resize(num_edges);
+  in_edges_.resize(num_edges);
+  {
+    TaskGroup group(*sched);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk_len;
+      const std::size_t hi = std::min(num_edges, lo + chunk_len);
+      if (lo >= hi) {
+        continue;
+      }
+      std::size_t* out_cursor = out_counts.data() + c * v_count;
+      std::size_t* in_cursor = in_counts.data() + c * v_count;
+      const TemporalEdge* base = edges_by_time_.data();
+      OutEdge* out_dst = out_edges_.data();
+      InEdge* in_dst = in_edges_.data();
+      group.spawn([base, lo, hi, out_cursor, in_cursor, out_dst, in_dst] {
+        // Chunk-local scatter in edge order: chunk c's slice of each
+        // vertex's list follows every earlier chunk's slice, so the global
+        // (ts, id) adjacency order is preserved without a per-list sort.
+        for (std::size_t i = lo; i < hi; ++i) {
+          const TemporalEdge& e = base[i];
+          out_dst[out_cursor[e.src]++] = OutEdge{e.dst, e.ts, e.id};
+          in_dst[in_cursor[e.dst]++] = InEdge{e.src, e.ts, e.id};
+        }
+      });
+    }
+    group.wait();
   }
-  fill_adjacency();
 }
 
 void TemporalGraph::fill_adjacency() {

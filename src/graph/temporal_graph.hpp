@@ -15,6 +15,8 @@
 
 namespace parcycle {
 
+class Scheduler;
+
 class TemporalGraph {
  public:
   // Half-edge stored in the out-adjacency of a source vertex.
@@ -34,6 +36,16 @@ class TemporalGraph {
 
   // `edges` need not be sorted; ids are (re)assigned by (ts, src, dst) rank.
   TemporalGraph(VertexId num_vertices, std::vector<TemporalEdge> edges);
+
+  // Parallel finalisation: sorts the edges as per-chunk sorted runs merged
+  // in parallel rounds and fills the CSR adjacency with a per-chunk counting
+  // sort, as tasks on `sched` (call from the thread that owns the scheduler).
+  // Produces a graph byte-identical to the serial constructor; `sched ==
+  // nullptr` or a small input falls back to the serial path. This is what
+  // keeps graph finalisation off the critical path once the parallel parser
+  // has made tokenisation cheap (see ROADMAP "Parallel graph finalisation").
+  TemporalGraph(VertexId num_vertices, std::vector<TemporalEdge> edges,
+                Scheduler* sched);
 
   // Pre-sorted representation parts, as persisted by the binary graph cache
   // (io/graph_cache.hpp): edges in ascending (ts, src, dst) order with
@@ -93,6 +105,10 @@ class TemporalGraph {
  private:
   // Scatters edges_by_time_ into out_edges_/in_edges_; offsets must be set.
   void fill_adjacency();
+  // Counting-sort CSR build (offsets + scatter) parallelised over edge
+  // chunks; falls back to the serial count + fill_adjacency when `sched` is
+  // null or the graph is too small to amortise the per-chunk count arrays.
+  void build_adjacency(Scheduler* sched);
 
   VertexId num_vertices_ = 0;
   std::vector<TemporalEdge> edges_by_time_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "support/scheduler.hpp"
+#include "support/stats.hpp"
 
 namespace parcycle {
 
@@ -217,10 +218,11 @@ std::vector<std::string_view> split_at_newlines(std::string_view text,
 }
 
 // Merges chunk outcomes (in input order) into stats + one edge vector and
-// finalises the graph. Throws on the earliest recorded parse error.
+// finalises the graph (in parallel on `sched` when given). Throws on the
+// earliest recorded parse error.
 TemporalGraph assemble(std::vector<ChunkOutcome>& chunks,
                        const EdgeListOptions& options, LoadStats* stats,
-                       std::uint64_t input_bytes) {
+                       std::uint64_t input_bytes, Scheduler* sched) {
   std::uint64_t lines_before = 0;
   std::size_t total_edges = 0;
   for (const ChunkOutcome& chunk : chunks) {
@@ -265,11 +267,14 @@ TemporalGraph assemble(std::vector<ChunkOutcome>& chunks,
     edges.erase(last, edges.end());
   }
   local.edges_loaded = edges.size();
+  const WallTimer finalise_timer;
+  TemporalGraph graph(static_cast<VertexId>(max_vertex_plus_1),
+                      std::move(edges), sched);
+  local.finalise_seconds = finalise_timer.elapsed_seconds();
   if (stats != nullptr) {
     *stats = local;
   }
-  return TemporalGraph(static_cast<VertexId>(max_vertex_plus_1),
-                       std::move(edges));
+  return graph;
 }
 
 // Whole input, read or mapped. mmap is the multi-gigabyte path (no copy, the
@@ -364,7 +369,7 @@ TemporalGraph parse_temporal_edge_list(std::string_view text,
   text = strip_bom(text);
   std::vector<ChunkOutcome> chunks(1);
   parse_chunk(text, options, chunks.front());
-  return assemble(chunks, options, stats, text.size());
+  return assemble(chunks, options, stats, text.size(), nullptr);
 }
 
 TemporalGraph parse_temporal_edge_list_parallel(std::string_view text,
@@ -379,7 +384,7 @@ TemporalGraph parse_temporal_edge_list_parallel(std::string_view text,
     if (!pieces.empty()) {
       parse_chunk(pieces.front(), options, chunks.front());
     }
-    return assemble(chunks, options, stats, text.size());
+    return assemble(chunks, options, stats, text.size(), &sched);
   }
 
   TaskGroup group(sched);
@@ -394,7 +399,7 @@ TemporalGraph parse_temporal_edge_list_parallel(std::string_view text,
     group.spawn(std::move(task));
   }
   group.wait();
-  return assemble(chunks, options, stats, text.size());
+  return assemble(chunks, options, stats, text.size(), &sched);
 }
 
 TemporalGraph load_temporal_edge_list(std::istream& in,

@@ -48,6 +48,11 @@ struct LoadStats {
   std::uint64_t self_loops_dropped = 0;
   std::uint64_t duplicate_edges_dropped = 0;
   std::uint64_t parse_chunks = 1;     // parse tasks (1 for the serial paths)
+  // Wall time of graph finalisation (the (ts, src, dst) sort + CSR fill in
+  // the TemporalGraph constructor — parallelised on the same scheduler as
+  // the parse in the parallel path). bench_loader reports it as its own
+  // phase column.
+  double finalise_seconds = 0.0;
 };
 
 // -- Serial paths ------------------------------------------------------------

@@ -1,0 +1,202 @@
+#include "stream/engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace parcycle {
+
+namespace {
+
+// Percentile from a merged log2 histogram: upper bound of the bucket where
+// the cumulative count crosses q.
+std::uint64_t histogram_percentile(const std::uint64_t (&buckets)[64],
+                                   std::uint64_t total, double q) {
+  if (total == 0) {
+    return 0;
+  }
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < 64; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
+                           CycleSink* sink)
+    : options_(options),
+      sched_(sched),
+      sink_(sink),
+      graph_(options.num_vertices_hint),
+      scratch_pool_([] { return std::make_unique<StreamSearchScratch>(); }),
+      last_pushed_ts_(std::numeric_limits<Timestamp>::min()) {
+  if (options_.window <= 0) {
+    throw std::invalid_argument("StreamOptions::window must be positive");
+  }
+  if (options_.batch_size == 0) {
+    options_.batch_size = 1;
+  }
+  sinks_.reserve(sched_.num_workers());
+  for (unsigned i = 0; i < sched_.num_workers(); ++i) {
+    sinks_.push_back(std::make_unique<WorkerSink>());
+  }
+  pending_.reserve(options_.batch_size);
+}
+
+void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
+  if (!pending_.empty() || graph_.total_ingested() > 0) {
+    if (ts < last_pushed_ts_) {
+      throw std::invalid_argument(
+          "StreamEngine::push: timestamps must be non-decreasing");
+    }
+  }
+  last_pushed_ts_ = ts;
+  pending_.push_back(TemporalEdge{src, dst, ts, kInvalidEdge});
+  if (pending_.size() >= options_.batch_size) {
+    process_batch();  // structural backpressure: drain before accepting more
+  }
+}
+
+void StreamEngine::flush() { process_batch(); }
+
+namespace {
+
+struct EdgeSearchTask {
+  StreamEngine* engine;
+  TemporalEdge edge;
+  void operator()();
+};
+
+}  // namespace
+
+// Grants the file-local task access to the private batch internals without
+// widening the public surface.
+struct StreamEngineBatchAccess {
+  static void search(StreamEngine& engine, const TemporalEdge& edge) {
+    engine.search_edge(edge);
+  }
+};
+
+namespace {
+
+void EdgeSearchTask::operator()() {
+  StreamEngineBatchAccess::search(*engine, edge);
+}
+
+// Per-edge batch tasks must ride the zero-allocation slab spawn path.
+static_assert(spawn_uses_slab_v<EdgeSearchTask>,
+              "EdgeSearchTask outgrew the scheduler's task-slab block");
+
+}  // namespace
+
+void StreamEngine::process_batch() {
+  if (pending_.empty()) {
+    return;
+  }
+  WallTimer timer;
+  // Every search of this batch only needs edges with
+  // ts >= closing.ts - window >= batch_min_ts - window.
+  graph_.expire_before(pending_.front().ts - options_.window);
+  for (TemporalEdge& e : pending_) {
+    e.id = graph_.ingest(e.src, e.dst, e.ts);
+  }
+  TaskGroup group(sched_);
+  for (const TemporalEdge& e : pending_) {
+    group.spawn(EdgeSearchTask{this, e});
+  }
+  group.wait();
+  pending_.clear();
+  batches_ += 1;
+  // The final wait() ordered every task's sink writes before this read.
+  std::uint64_t cycles = 0;
+  for (const auto& sink : sinks_) {
+    cycles += sink->cycles;
+  }
+  cycles_found_ = cycles;
+  busy_seconds_ += timer.elapsed_seconds();
+}
+
+void StreamEngine::search_edge(const TemporalEdge& edge) {
+  const int worker = Scheduler::current_worker_id();
+  assert(worker >= 0 &&
+         static_cast<std::size_t>(worker) < sinks_.size() &&
+         "search_edge must run on a worker of the engine's scheduler");
+  WorkerSink& sink = *sinks_[static_cast<std::size_t>(worker)];
+
+  ParallelOptions popts;
+  popts.spawn_policy = options_.spawn_policy;
+  popts.spawn_queue_threshold = options_.spawn_queue_threshold;
+
+  WallTimer timer;
+  auto scratch = scratch_pool_.acquire();
+  const std::size_t frontier =
+      edge.src == edge.dst
+          ? 0
+          : graph_
+                .out_edges_in_window(edge.dst, edge.ts - options_.window,
+                                     edge.ts - 1)
+                .size();
+  const bool hot =
+      edge.src != edge.dst && frontier >= options_.hot_frontier_threshold;
+
+  EnumOptions eopts;
+  eopts.max_cycle_length = options_.max_cycle_length;
+  // Both thresholds read only the graph, so the serial/fine split and the
+  // prune decision — hence cycle counts and edge visits — are deterministic
+  // across schedules and thread counts.
+  eopts.use_cycle_union = options_.use_reach_prune &&
+                          frontier >= options_.prune_frontier_threshold;
+  std::uint64_t found = 0;
+  if (hot) {
+    sink.escalated += 1;
+    found = fine_cycles_closed_by_edge(graph_, edge, options_.window, sched_,
+                                       eopts, popts, *scratch, sink.work,
+                                       sink_);
+  } else {
+    found = cycles_closed_by_edge(graph_, edge, options_.window, eopts,
+                                  *scratch, sink.work, sink_);
+  }
+  scratch_pool_.release(std::move(scratch));
+
+  sink.cycles += found;
+  const std::uint64_t ns = timer.elapsed_ns();
+  // bit_width(ns) is 0..64; the top bucket absorbs the (never observed in
+  // practice) >= 2^63 ns tail.
+  sink.latency_buckets[std::min<int>(std::bit_width(ns), 63)] += 1;
+  sink.latency_max_ns = std::max(sink.latency_max_ns, ns);
+}
+
+StreamStats StreamEngine::stats() const {
+  StreamStats stats;
+  stats.edges_ingested = graph_.total_ingested();
+  stats.batches = batches_;
+  stats.expired_edges = graph_.total_expired();
+  stats.live_edges = graph_.live_edges();
+  stats.busy_seconds = busy_seconds_;
+
+  std::uint64_t buckets[64] = {};
+  std::uint64_t searches = 0;
+  for (const auto& sink : sinks_) {
+    stats.cycles_found += sink->cycles;
+    stats.escalated_edges += sink->escalated;
+    stats.work += sink->work;
+    stats.latency_max_ns = std::max(stats.latency_max_ns, sink->latency_max_ns);
+    for (int b = 0; b < 64; ++b) {
+      buckets[b] += sink->latency_buckets[b];
+      searches += sink->latency_buckets[b];
+    }
+  }
+  stats.latency_p50_ns = histogram_percentile(buckets, searches, 0.50);
+  stats.latency_p99_ns = histogram_percentile(buckets, searches, 0.99);
+  return stats;
+}
+
+}  // namespace parcycle

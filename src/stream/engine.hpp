@@ -1,0 +1,155 @@
+// Streaming enumeration engine: micro-batched ingestion of a temporal edge
+// stream with per-edge incremental cycle detection on the work-stealing
+// Scheduler.
+//
+// The producer pushes timestamp-ordered edges; the engine buffers them into
+// micro-batches. Processing a batch:
+//
+//  1. advances the sliding window (expire edges older than
+//     batch_min_ts - window — by construction nothing a later closing edge
+//     could still use, so the window never loses a cycle);
+//  2. ingests the whole batch into the SlidingWindowGraph (edges of one batch
+//     are mutually invisible to each other's searches anyway: a closing edge
+//     only reads strictly earlier timestamps);
+//  3. fans one task per edge out over the scheduler (slab spawn path); each
+//     task enumerates the cycles its edge closes. Hot edges — those whose
+//     search frontier in the live window reaches
+//     StreamOptions::hot_frontier_threshold — escalate to the fine-grained
+//     variant, which recursively spawns branch tasks so a single burst vertex
+//     cannot serialise the batch.
+//
+// Backpressure is structural: push() drains a full buffer synchronously
+// before accepting the next edge, so the engine never holds more than one
+// batch of unprocessed input and a slow search phase blocks the producer
+// instead of growing a queue.
+//
+// Throughput and latency are tracked in per-worker sinks (counter_sink
+// style): per-edge search wall times land in cache-line-aligned per-worker
+// log2 histograms, merged once by stats() into p50/p99/max. Latency of an
+// escalated edge includes any tasks its worker executed while waiting on the
+// search group, so percentiles describe the engine as operated, not the pure
+// search cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cycle_types.hpp"
+#include "core/johnson_state.hpp"  // ScratchPool
+#include "core/options.hpp"
+#include "stream/incremental.hpp"
+#include "stream/sliding_window_graph.hpp"
+#include "support/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace parcycle {
+
+struct StreamOptions {
+  // Cycle window delta: a cycle's edges all lie within [t0, t0 + window].
+  // Also the retention horizon of the sliding graph. Must be > 0.
+  Timestamp window = 0;
+  // Edges per micro-batch (and the backpressure bound on buffered input).
+  std::size_t batch_size = 256;
+  // Forwarded to the per-edge searches.
+  int max_cycle_length = 0;
+  // Reverse-BFS pruning before a per-edge DFS (EnumOptions::use_cycle_union
+  // of the batch algorithms). The BFS costs a scan of the window's
+  // neighbourhood per edge, which dwarfs a typical (near-empty) search, so
+  // it is only run when the edge's frontier suggests the DFS could blow up:
+  // head out-degree >= prune_frontier_threshold live window edges. 0 prunes
+  // every search; use_reach_prune = false never prunes.
+  bool use_reach_prune = true;
+  std::size_t prune_frontier_threshold = 32;
+  // Escalate an edge to the fine-grained search when its head has at least
+  // this many live out-edges inside the search window. 0 escalates every
+  // edge; SIZE_MAX never escalates.
+  std::size_t hot_frontier_threshold = 64;
+  // Spawn policy of escalated searches.
+  SpawnPolicy spawn_policy = SpawnPolicy::kAdaptive;
+  std::int64_t spawn_queue_threshold = 8;
+  // Initial vertex capacity hint for the sliding graph.
+  VertexId num_vertices_hint = 0;
+};
+
+// Aggregate engine statistics; see StreamEngine::stats().
+struct StreamStats {
+  std::uint64_t edges_ingested = 0;
+  std::uint64_t cycles_found = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t escalated_edges = 0;
+  std::uint64_t expired_edges = 0;
+  std::uint64_t live_edges = 0;
+  // Wall time spent inside batch processing (expiry + ingest + searches).
+  double busy_seconds = 0.0;
+  WorkCounters work;
+  // Per-edge search latency over the whole run, from merged per-worker log2
+  // histograms: upper bound of the bucket containing the percentile.
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_max_ns = 0;
+};
+
+class StreamEngine {
+ public:
+  // Searches run on `sched` (the caller's pool; the engine does not own it).
+  // push()/flush()/stats() must be called from the thread that owns the
+  // scheduler (worker 0). `sink` (nullable) receives every closed cycle and
+  // must be thread-safe.
+  StreamEngine(const StreamOptions& options, Scheduler& sched,
+               CycleSink* sink = nullptr);
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  // Feeds one edge. Timestamps must be non-decreasing (throws
+  // std::invalid_argument otherwise). Triggers synchronous batch processing
+  // when the buffer reaches batch_size.
+  void push(VertexId src, VertexId dst, Timestamp ts);
+
+  // Processes any buffered edges; call at end of stream (or whenever results
+  // must be up to date with everything pushed so far).
+  void flush();
+
+  // Live window graph; mutated by push()/flush(), stable between calls.
+  const SlidingWindowGraph& graph() const noexcept { return graph_; }
+
+  // Cycles closed so far (cheap; only counts fully processed batches).
+  std::uint64_t cycles_found() const noexcept { return cycles_found_; }
+
+  // Merged statistics snapshot. Call between push()/flush() calls.
+  StreamStats stats() const;
+
+ private:
+  friend struct StreamEngineBatchAccess;
+
+  // Per-worker mutable state: counters and the latency histogram. The search
+  // scratches live in a pool instead — a worker blocked in a search's
+  // TaskGroup::wait can execute another edge task, so worker-keyed scratch
+  // would be re-entered.
+  struct alignas(64) WorkerSink {
+    WorkCounters work;
+    std::uint64_t cycles = 0;
+    std::uint64_t escalated = 0;
+    // latency_buckets[b] counts searches with bit_width(ns) == b.
+    std::uint64_t latency_buckets[64] = {};
+    std::uint64_t latency_max_ns = 0;
+  };
+
+  void process_batch();
+  void search_edge(const TemporalEdge& edge);
+
+  StreamOptions options_;
+  Scheduler& sched_;
+  CycleSink* sink_;
+  SlidingWindowGraph graph_;
+  ScratchPool<StreamSearchScratch> scratch_pool_;
+  std::vector<std::unique_ptr<WorkerSink>> sinks_;
+  std::vector<TemporalEdge> pending_;
+  Timestamp last_pushed_ts_;
+  std::uint64_t cycles_found_ = 0;
+  std::uint64_t batches_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,387 @@
+#include "stream/incremental.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "core/johnson_impl.hpp"  // detail::kUnboundedRem / child_rem
+
+namespace parcycle {
+
+void StreamSearchScratch::ensure(VertexId n) {
+  if (n <= stamp_.size()) {
+    return;
+  }
+  stamp_.resize(n, 0);
+  dist_.resize(n, 0);
+  on_path.resize(n);
+}
+
+namespace {
+
+// Reverse BFS from `target` over the in-adjacency restricted to ts in
+// [lo, hi]: marks every vertex with a (time-agnostic) reverse path to the
+// target, with its minimum hop count. A superset of the vertices that can
+// temporally reach the target, so pruning on it never loses a cycle. When
+// `max_path_edges` >= 0 the BFS stops at that depth — vertices further away
+// cannot appear on a path short enough for the length bound.
+void compute_reverse_prune(const SlidingWindowGraph& graph, VertexId target,
+                           Timestamp lo, Timestamp hi,
+                           std::int32_t max_path_edges,
+                           StreamSearchScratch& scratch) {
+  scratch.begin_epoch();
+  scratch.mark(target, 0);
+  auto& queue = scratch.bfs_queue;
+  queue.clear();
+  queue.push_back(target);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const VertexId x = queue[head++];
+    const std::int32_t d = scratch.distance(x);
+    if (max_path_edges >= 0 && d >= max_path_edges) {
+      continue;  // deeper vertices cannot fit the length bound
+    }
+    for (const auto& e : graph.in_edges_in_window(x, lo, hi)) {
+      if (!scratch.reached(e.src)) {
+        scratch.mark(e.src, d + 1);
+        queue.push_back(e.src);
+      }
+    }
+  }
+}
+
+// Shared immutable parameters of one per-edge search.
+struct StreamSearchParams {
+  const SlidingWindowGraph& graph;
+  VertexId target;
+  Timestamp lo;
+  Timestamp hi;  // closing.ts - 1
+  EdgeId closing_id;
+  bool bounded;
+  bool pruned;
+  const StreamSearchScratch* prune;  // reverse-BFS marks (read-only)
+
+  // May the search step into w with `rem_after` path edges still available
+  // after the step?
+  bool admissible(VertexId w, std::int32_t rem_after) const {
+    if (!pruned) {
+      return true;
+    }
+    if (!prune->reached(w)) {
+      return false;
+    }
+    return !bounded || prune->distance(w) <= rem_after;
+  }
+};
+
+void report_cycle(const StreamSearchParams& params, CycleSink* sink,
+                  std::vector<VertexId>& vertices, std::vector<EdgeId>& edges,
+                  EdgeId via_target) {
+  if (sink == nullptr) {
+    return;
+  }
+  vertices.push_back(params.target);
+  edges.push_back(via_target);
+  edges.push_back(params.closing_id);
+  sink->on_cycle({vertices.data(), vertices.size()},
+                 {edges.data(), edges.size()});
+  vertices.pop_back();
+  edges.pop_back();
+  edges.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Serial DFS
+// ---------------------------------------------------------------------------
+
+struct SerialStreamSearch {
+  const StreamSearchParams& params;
+  StreamSearchScratch& scratch;
+  WorkCounters& work;
+  CycleSink* sink;
+  std::uint64_t found = 0;
+
+  // Path frontier is scratch.path_vertices.back(), reached at `arrival`.
+  void extend(Timestamp arrival, std::int32_t rem) {
+    const VertexId v = scratch.path_vertices.back();
+    work.vertices_visited += 1;
+    for (const auto& e :
+         params.graph.out_edges_in_window(v, arrival + 1, params.hi)) {
+      work.edges_visited += 1;
+      if (e.dst == params.target) {
+        if (!params.bounded || rem >= 1) {
+          found += 1;
+          work.cycles_found += 1;
+          report_cycle(params, sink, scratch.path_vertices,
+                       scratch.path_edges, e.id);
+        }
+        continue;
+      }
+      if (params.bounded && rem <= 1) {
+        continue;
+      }
+      if (scratch.on_path.test(e.dst)) {
+        continue;
+      }
+      const std::int32_t next = detail::child_rem(rem, params.bounded);
+      if (!params.admissible(e.dst, next)) {
+        continue;
+      }
+      scratch.path_vertices.push_back(e.dst);
+      scratch.path_edges.push_back(e.id);
+      scratch.on_path.set(e.dst);
+      extend(e.ts, next);
+      scratch.on_path.reset(e.dst);
+      scratch.path_vertices.pop_back();
+      scratch.path_edges.pop_back();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fine-grained DFS: branches spawn as tasks carrying their own path copy.
+// With no shared blocking state every instance is found exactly once on
+// every schedule, so cycle and edge-visit totals are deterministic.
+// ---------------------------------------------------------------------------
+
+struct FineStreamRun {
+  const StreamSearchParams& params;
+  Scheduler& sched;
+  ParallelOptions popts;
+  CycleSink* sink;
+
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> edges_visited{0};
+  std::atomic<std::uint64_t> vertices_visited{0};
+  std::atomic<std::uint64_t> tasks_spawned{0};
+
+  void merge(const WorkCounters& local) {
+    cycles.fetch_add(local.cycles_found, std::memory_order_relaxed);
+    edges_visited.fetch_add(local.edges_visited, std::memory_order_relaxed);
+    vertices_visited.fetch_add(local.vertices_visited,
+                               std::memory_order_relaxed);
+    tasks_spawned.fetch_add(local.tasks_spawned, std::memory_order_relaxed);
+  }
+
+  bool should_spawn() const {
+    switch (popts.spawn_policy) {
+      case SpawnPolicy::kAlways:
+        return true;
+      case SpawnPolicy::kAdaptive:
+        return sched.local_queue_size() < popts.spawn_queue_threshold;
+    }
+    return true;
+  }
+};
+
+void fine_explore(FineStreamRun& run, std::vector<VertexId>& vertices,
+                  std::vector<EdgeId>& edges, Timestamp arrival,
+                  std::int32_t rem, WorkCounters& local);
+
+// One spawned branch: enter `v` via edge (`via`, `arrival`) on top of the
+// prefix path the task owns.
+struct StreamBranchTask {
+  FineStreamRun* run;
+  VertexId v;
+  Timestamp arrival;
+  EdgeId via;
+  std::int32_t rem;
+  std::vector<VertexId> prefix_vertices;
+  std::vector<EdgeId> prefix_edges;
+
+  void operator()() {
+    prefix_vertices.push_back(v);
+    prefix_edges.push_back(via);
+    WorkCounters local;
+    fine_explore(*run, prefix_vertices, prefix_edges, arrival, rem, local);
+    run->merge(local);
+  }
+};
+
+// Branch tasks must ride the zero-allocation slab spawn path.
+static_assert(spawn_uses_slab_v<StreamBranchTask>,
+              "StreamBranchTask outgrew the scheduler's task-slab block");
+
+void fine_explore(FineStreamRun& run, std::vector<VertexId>& vertices,
+                  std::vector<EdgeId>& edges, Timestamp arrival,
+                  std::int32_t rem, WorkCounters& local) {
+  const StreamSearchParams& params = run.params;
+  const VertexId v = vertices.back();
+  local.vertices_visited += 1;
+  TaskGroup group(run.sched);
+  bool spawned = false;
+  for (const auto& e :
+       params.graph.out_edges_in_window(v, arrival + 1, params.hi)) {
+    local.edges_visited += 1;
+    if (e.dst == params.target) {
+      if (!params.bounded || rem >= 1) {
+        local.cycles_found += 1;
+        report_cycle(params, run.sink, vertices, edges, e.id);
+      }
+      continue;
+    }
+    if (params.bounded && rem <= 1) {
+      continue;
+    }
+    // Paths are shallow relative to the window, so membership is a linear
+    // scan over the owned path instead of a per-task bitset.
+    if (std::find(vertices.begin(), vertices.end(), e.dst) !=
+        vertices.end()) {
+      continue;
+    }
+    const std::int32_t next = detail::child_rem(rem, params.bounded);
+    if (!params.admissible(e.dst, next)) {
+      continue;
+    }
+    if (run.should_spawn()) {
+      local.tasks_spawned += 1;
+      spawned = true;
+      group.spawn(
+          StreamBranchTask{&run, e.dst, e.ts, e.id, next, vertices, edges});
+      continue;
+    }
+    vertices.push_back(e.dst);
+    edges.push_back(e.id);
+    fine_explore(run, vertices, edges, e.ts, next, local);
+    vertices.pop_back();
+    edges.pop_back();
+  }
+  if (spawned) {
+    group.wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared entry logic
+// ---------------------------------------------------------------------------
+
+// Handles the trivial outcomes shared by both variants. Returns true when the
+// search can be skipped, with *result already settled.
+bool settle_trivial(const SlidingWindowGraph& graph,
+                    const TemporalEdge& closing, Timestamp window,
+                    WorkCounters& work, CycleSink* sink,
+                    std::uint64_t* result) {
+  *result = 0;
+  if (closing.src == closing.dst) {
+    work.cycles_found += 1;
+    if (sink != nullptr) {
+      sink->on_cycle({&closing.src, 1}, {&closing.id, 1});
+    }
+    *result = 1;
+    return true;
+  }
+  if (window <= 0) {
+    return true;  // strictly increasing timestamps need a positive span
+  }
+  const Timestamp lo = closing.ts - window;
+  const Timestamp hi = closing.ts - 1;
+  if (graph.out_edges_in_window(closing.dst, lo, hi).empty() ||
+      graph.in_edges_in_window(closing.src, lo, hi).empty()) {
+    return true;  // the head cannot leave or the tail cannot be re-entered
+  }
+  return false;
+}
+
+// Shared prologue of both variants: trivial settlement, budget derivation,
+// window bounds, scratch growth and the (optional) reverse-BFS prune with
+// its root-reachability early-out. Returns the search parameters, or nothing
+// when *settled already holds the final count — keeping the serial and fine
+// paths structurally unable to diverge on any of these decisions.
+struct PreparedSearch {
+  StreamSearchParams params;
+  std::int32_t rem0;
+};
+
+std::optional<PreparedSearch> prepare_search(
+    const SlidingWindowGraph& graph, const TemporalEdge& closing,
+    Timestamp window, const EnumOptions& options, StreamSearchScratch& scratch,
+    WorkCounters& work, CycleSink* sink, std::uint64_t* settled) {
+  if (settle_trivial(graph, closing, window, work, sink, settled)) {
+    return std::nullopt;
+  }
+  const bool bounded = options.max_cycle_length > 0;
+  const std::int32_t rem0 =
+      bounded ? options.max_cycle_length - 1 : detail::kUnboundedRem;
+  if (rem0 < 1) {
+    return std::nullopt;  // max_cycle_length == 1 admits only self-loops
+  }
+  const Timestamp lo = closing.ts - window;
+  const Timestamp hi = closing.ts - 1;
+  scratch.ensure(graph.num_vertices());
+  if (options.use_cycle_union) {
+    compute_reverse_prune(graph, closing.src, lo, hi, bounded ? rem0 : -1,
+                          scratch);
+    if (!scratch.reached(closing.dst) ||
+        (bounded && scratch.distance(closing.dst) > rem0)) {
+      return std::nullopt;
+    }
+  }
+  return PreparedSearch{
+      StreamSearchParams{graph,      closing.src, lo,
+                         hi,         closing.id,  bounded,
+                         options.use_cycle_union, &scratch},
+      rem0};
+}
+
+}  // namespace
+
+std::uint64_t cycles_closed_by_edge(const SlidingWindowGraph& graph,
+                                    const TemporalEdge& closing,
+                                    Timestamp window,
+                                    const EnumOptions& options,
+                                    StreamSearchScratch& scratch,
+                                    WorkCounters& work, CycleSink* sink) {
+  std::uint64_t settled = 0;
+  const auto prepared = prepare_search(graph, closing, window, options,
+                                       scratch, work, sink, &settled);
+  if (!prepared) {
+    return settled;
+  }
+  const StreamSearchParams& params = prepared->params;
+  const std::int32_t rem0 = prepared->rem0;
+  SerialStreamSearch search{params, scratch, work, sink};
+  assert(scratch.path_vertices.empty() && scratch.path_edges.empty());
+  scratch.path_vertices.push_back(closing.dst);
+  scratch.on_path.set(closing.dst);
+  scratch.on_path.set(closing.src);  // the target never re-enters the path
+  search.extend(params.lo - 1, rem0);
+  scratch.on_path.reset(closing.src);
+  scratch.on_path.reset(closing.dst);
+  scratch.path_vertices.pop_back();
+  return search.found;
+}
+
+std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
+                                         const TemporalEdge& closing,
+                                         Timestamp window, Scheduler& sched,
+                                         const EnumOptions& options,
+                                         const ParallelOptions& popts,
+                                         StreamSearchScratch& scratch,
+                                         WorkCounters& work, CycleSink* sink) {
+  std::uint64_t settled = 0;
+  const auto prepared = prepare_search(graph, closing, window, options,
+                                       scratch, work, sink, &settled);
+  if (!prepared) {
+    return settled;
+  }
+  const StreamSearchParams& params = prepared->params;
+  FineStreamRun run{params, sched, popts, sink};
+  std::vector<VertexId> vertices{closing.dst};
+  std::vector<EdgeId> edges;
+  WorkCounters local;
+  // Every nested fine_explore waits for its own task group, so the search
+  // has fully quiesced when this call returns (and the scratch's prune marks
+  // are no longer read).
+  fine_explore(run, vertices, edges, params.lo - 1, prepared->rem0, local);
+  run.merge(local);
+  work.cycles_found += run.cycles.load(std::memory_order_relaxed);
+  work.edges_visited += run.edges_visited.load(std::memory_order_relaxed);
+  work.vertices_visited +=
+      run.vertices_visited.load(std::memory_order_relaxed);
+  work.tasks_spawned += run.tasks_spawned.load(std::memory_order_relaxed);
+  return run.cycles.load(std::memory_order_relaxed);
+}
+
+}  // namespace parcycle

@@ -1,0 +1,129 @@
+#include "stream/sliding_window_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace parcycle {
+
+namespace {
+
+// Erase a dead prefix only once it outweighs the live suffix (and is big
+// enough that the memmove is amortised over many expiries).
+constexpr std::size_t kMinCompactPrefix = 32;
+
+template <typename Vec>
+void maybe_compact(Vec& vec, std::uint32_t& head) {
+  const std::size_t dead = head;
+  if (dead >= kMinCompactPrefix && dead * 2 >= vec.size()) {
+    vec.erase(vec.begin(), vec.begin() + static_cast<std::ptrdiff_t>(dead));
+    head = 0;
+  }
+}
+
+}  // namespace
+
+SlidingWindowGraph::SlidingWindowGraph(VertexId num_vertices)
+    : adj_(num_vertices),
+      last_ts_(std::numeric_limits<Timestamp>::min()),
+      watermark_(std::numeric_limits<Timestamp>::min()) {}
+
+void SlidingWindowGraph::ensure_vertex(VertexId v) {
+  if (v >= adj_.size()) {
+    adj_.resize(static_cast<std::size_t>(v) + 1);
+  }
+}
+
+EdgeId SlidingWindowGraph::ingest(VertexId src, VertexId dst, Timestamp ts) {
+  if (total_ingested_ > 0 && ts < last_ts_) {
+    throw std::invalid_argument(
+        "SlidingWindowGraph::ingest: timestamps must be non-decreasing");
+  }
+  if (next_id_ == kInvalidEdge) {
+    // EdgeId is 32-bit; wrapping would alias ids of still-live edges and
+    // silently corrupt reported cycles. Fail loudly instead — re-basing ids
+    // across an id-space epoch is a documented streaming follow-on.
+    throw std::overflow_error(
+        "SlidingWindowGraph::ingest: edge id space exhausted (2^32-1 edges)");
+  }
+  ensure_vertex(std::max(src, dst));
+  const EdgeId id = next_id_++;
+  adj_[src].out.push_back(OutEdge{dst, ts, id});
+  adj_[dst].in.push_back(InEdge{src, ts, id});
+  log_.push_back(TemporalEdge{src, dst, ts, id});
+  last_ts_ = ts;
+  total_ingested_ += 1;
+  return id;
+}
+
+void SlidingWindowGraph::expire_before(Timestamp cutoff) {
+  if (cutoff <= watermark_) {
+    return;  // the watermark never moves backwards
+  }
+  watermark_ = cutoff;
+  expiry_epochs_ += 1;
+  while (log_head_ < log_.size() && log_[log_head_].ts < cutoff) {
+    const TemporalEdge& e = log_[log_head_];
+    // The globally-oldest live edge is by construction the head of both its
+    // endpoint lists (per-vertex order is arrival order), so expiring it is
+    // one cursor bump per side.
+    VertexAdj& src_adj = adj_[e.src];
+    VertexAdj& dst_adj = adj_[e.dst];
+    src_adj.out_head += 1;
+    dst_adj.in_head += 1;
+    maybe_compact(src_adj.out, src_adj.out_head);
+    maybe_compact(dst_adj.in, dst_adj.in_head);
+    log_head_ += 1;
+    total_expired_ += 1;
+  }
+  if (log_head_ >= kMinCompactPrefix && log_head_ * 2 >= log_.size()) {
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(log_head_));
+    log_head_ = 0;
+  }
+}
+
+std::span<const SlidingWindowGraph::OutEdge> SlidingWindowGraph::out_edges(
+    VertexId v) const noexcept {
+  const VertexAdj& a = adj_[v];
+  return {a.out.data() + a.out_head, a.out.data() + a.out.size()};
+}
+
+std::span<const SlidingWindowGraph::InEdge> SlidingWindowGraph::in_edges(
+    VertexId v) const noexcept {
+  const VertexAdj& a = adj_[v];
+  return {a.in.data() + a.in_head, a.in.data() + a.in.size()};
+}
+
+std::span<const SlidingWindowGraph::OutEdge>
+SlidingWindowGraph::out_edges_in_window(VertexId v, Timestamp lo,
+                                        Timestamp hi) const noexcept {
+  const auto all = out_edges(v);
+  const auto first = std::lower_bound(
+      all.begin(), all.end(), lo,
+      [](const OutEdge& e, Timestamp t) { return e.ts < t; });
+  const auto last = std::upper_bound(
+      first, all.end(), hi,
+      [](Timestamp t, const OutEdge& e) { return t < e.ts; });
+  return {first, last};
+}
+
+std::span<const SlidingWindowGraph::InEdge>
+SlidingWindowGraph::in_edges_in_window(VertexId v, Timestamp lo,
+                                       Timestamp hi) const noexcept {
+  const auto all = in_edges(v);
+  const auto first = std::lower_bound(
+      all.begin(), all.end(), lo,
+      [](const InEdge& e, Timestamp t) { return e.ts < t; });
+  const auto last = std::upper_bound(
+      first, all.end(), hi,
+      [](Timestamp t, const InEdge& e) { return t < e.ts; });
+  return {first, last};
+}
+
+TemporalGraph SlidingWindowGraph::snapshot() const {
+  std::vector<TemporalEdge> edges(log_.begin() + static_cast<std::ptrdiff_t>(log_head_),
+                                  log_.end());
+  return TemporalGraph(num_vertices(), std::move(edges));
+}
+
+}  // namespace parcycle

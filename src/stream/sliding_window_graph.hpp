@@ -1,0 +1,110 @@
+// Mutable temporal graph over a sliding time window — the streaming
+// counterpart of the immutable CSR TemporalGraph.
+//
+// Edges arrive in non-decreasing timestamp order (ingest) and leave when the
+// window watermark passes them (expire_before). Per-vertex adjacency keeps
+// exactly the invariant the enumerators rely on — each list ascending by
+// (ts, id) — for free, because arrival order is timestamp order and ids are
+// arrival ranks. Expiry is epoch-based per-vertex compaction:
+//
+//  * every expire_before() call opens a new watermark epoch and walks the
+//    global arrival log from its head, bumping the owning vertex's dead-prefix
+//    cursor once per expired edge (O(1) amortised per edge over the stream's
+//    lifetime — the expired edge is by construction the current head of both
+//    its endpoint lists);
+//  * a vertex physically erases its dead prefix only when the dead half
+//    outweighs the live half, so compaction cost is amortised O(1) per
+//    ingested edge and there is never a global rebuild or re-sort.
+//
+// Mutation (ingest / expire_before) is single-threaded — the engine's
+// ingestion phase; the read API is const and safe to call concurrently from
+// enumeration tasks between mutations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/temporal_graph.hpp"
+#include "graph/types.hpp"
+
+namespace parcycle {
+
+class SlidingWindowGraph {
+ public:
+  using OutEdge = TemporalGraph::OutEdge;
+  using InEdge = TemporalGraph::InEdge;
+
+  // `num_vertices` is a hint; ingest grows the vertex set on demand.
+  explicit SlidingWindowGraph(VertexId num_vertices = 0);
+
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(adj_.size());
+  }
+
+  // Appends an edge and returns its id (the arrival rank, starting at 0).
+  // Timestamps must be non-decreasing across calls; throws
+  // std::invalid_argument on a regression. When the stream is fed edges in
+  // the canonical (ts, src, dst) order these ids coincide with the ids a
+  // batch TemporalGraph would assign, which is what makes streamed cycle
+  // records directly comparable to batch ones.
+  EdgeId ingest(VertexId src, VertexId dst, Timestamp ts);
+
+  // Expires every edge with ts < cutoff. Cutoffs must be non-decreasing
+  // (lower ones are a no-op: the watermark never moves backwards).
+  void expire_before(Timestamp cutoff);
+
+  // Timestamp below which edges are expired (-inf until the first expiry).
+  Timestamp watermark() const noexcept { return watermark_; }
+  Timestamp last_timestamp() const noexcept { return last_ts_; }
+
+  std::size_t live_edges() const noexcept {
+    return static_cast<std::size_t>(total_ingested_ - total_expired_);
+  }
+  std::uint64_t total_ingested() const noexcept { return total_ingested_; }
+  std::uint64_t total_expired() const noexcept { return total_expired_; }
+  // Watermark epochs opened (expire_before calls that advanced the cutoff).
+  std::uint64_t expiry_epochs() const noexcept { return expiry_epochs_; }
+
+  // Live out/in adjacency of v, ascending by (ts, id).
+  std::span<const OutEdge> out_edges(VertexId v) const noexcept;
+  std::span<const InEdge> in_edges(VertexId v) const noexcept;
+
+  // Live out/in edges of v with ts in [lo, hi], both bounds inclusive — the
+  // same contract as TemporalGraph::out_edges_in_window.
+  std::span<const OutEdge> out_edges_in_window(VertexId v, Timestamp lo,
+                                               Timestamp hi) const noexcept;
+  std::span<const InEdge> in_edges_in_window(VertexId v, Timestamp lo,
+                                             Timestamp hi) const noexcept;
+
+  // Immutable batch snapshot of the live window (ids are re-ranked by the
+  // TemporalGraph constructor). Used by tests to cross-check expiry and by
+  // consumers that want to hand the current window to a batch enumerator.
+  TemporalGraph snapshot() const;
+
+ private:
+  struct VertexAdj {
+    std::vector<OutEdge> out;
+    std::vector<InEdge> in;
+    // Dead prefix lengths (expired but not yet erased).
+    std::uint32_t out_head = 0;
+    std::uint32_t in_head = 0;
+  };
+
+  void ensure_vertex(VertexId v);
+
+  std::vector<VertexAdj> adj_;
+  // Arrival log of live edges; log_head_ marks the expired prefix. Compacted
+  // with the same dead-outweighs-live rule as the per-vertex lists.
+  std::vector<TemporalEdge> log_;
+  std::size_t log_head_ = 0;
+
+  Timestamp last_ts_;
+  Timestamp watermark_;
+  EdgeId next_id_ = 0;
+  std::uint64_t total_ingested_ = 0;
+  std::uint64_t total_expired_ = 0;
+  std::uint64_t expiry_epochs_ = 0;
+};
+
+}  // namespace parcycle

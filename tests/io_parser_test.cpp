@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "support/scheduler.hpp"
@@ -236,6 +239,46 @@ TEST(IoParserParallel, UnreadableFileThrows) {
         load_temporal_edge_list_file_parallel("/nonexistent/graph.txt", sched),
         std::runtime_error);
   });
+}
+
+TEST(IoParserParallel, ParallelFinaliseMatchesSerialConstruction) {
+  // Above the parallel-finalisation gate (2^15 edges) the scheduler-aware
+  // TemporalGraph constructor runs the chunked sort-merge and the per-chunk
+  // counting-sort CSR fill; the result must be indistinguishable from the
+  // serial constructor's, adjacency order included.
+  const TemporalGraph serial = generated(40'000, 99);
+  std::vector<TemporalEdge> scrambled(serial.edges_by_time().begin(),
+                                      serial.edges_by_time().end());
+  std::mt19937_64 rng(123);
+  std::shuffle(scrambled.begin(), scrambled.end(), rng);
+  for (auto& e : scrambled) {
+    e.id = kInvalidEdge;  // ids are reassigned by rank either way
+  }
+  for (const unsigned threads : {2u, 4u}) {
+    auto edges = scrambled;
+    const TemporalGraph parallel =
+        Scheduler::with_pool(threads, [&](Scheduler& sched) {
+          return TemporalGraph(serial.num_vertices(), std::move(edges),
+                               &sched);
+        });
+    expect_same_graph(serial, parallel);
+    for (VertexId v = 0; v < serial.num_vertices(); ++v) {
+      const auto a = serial.out_edges(v);
+      const auto b = parallel.out_edges(v);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].id, b[i].id) << "vertex " << v << " slot " << i;
+        ASSERT_EQ(a[i].dst, b[i].dst);
+        ASSERT_EQ(a[i].ts, b[i].ts);
+      }
+      const auto ai = serial.in_edges(v);
+      const auto bi = parallel.in_edges(v);
+      ASSERT_EQ(ai.size(), bi.size());
+      for (std::size_t i = 0; i < ai.size(); ++i) {
+        ASSERT_EQ(ai[i].id, bi[i].id) << "vertex " << v << " slot " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,307 @@
+// Correctness anchor of the streaming subsystem: replaying a temporal graph
+// edge-by-edge through the StreamEngine must produce exactly the batch
+// temporal enumerator's cycle set (count and membership, ids included) on the
+// same window — for the serial and the fine-grained per-edge search, across
+// batch sizes, spawn policies and pruning on/off. Also pins the
+// SlidingWindowGraph's expiry semantics against a brute-force window filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "io/edge_list.hpp"
+#include "stream/engine.hpp"
+#include "stream/sliding_window_graph.hpp"
+#include "support/scheduler.hpp"
+#include "temporal/temporal_johnson.hpp"
+
+namespace parcycle {
+namespace {
+
+std::vector<CycleRecord> batch_cycles(const TemporalGraph& graph,
+                                      Timestamp window, int max_len = 0) {
+  CollectingSink sink;
+  EnumOptions options;
+  options.max_cycle_length = max_len;
+  temporal_johnson_cycles(graph, window, options, &sink);
+  return sink.sorted_cycles();
+}
+
+struct ReplayConfig {
+  unsigned threads = 1;
+  std::size_t batch_size = 64;
+  std::size_t hot_threshold = static_cast<std::size_t>(-1);  // never escalate
+  SpawnPolicy policy = SpawnPolicy::kAdaptive;
+  bool prune = true;
+  std::size_t prune_threshold = 32;  // engine default
+};
+
+std::vector<CycleRecord> replay_cycles(const TemporalGraph& graph,
+                                       Timestamp window,
+                                       const ReplayConfig& config,
+                                       int max_len = 0,
+                                       StreamStats* stats_out = nullptr) {
+  CollectingSink sink;
+  std::uint64_t counted = 0;
+  Scheduler::with_pool(config.threads, [&](Scheduler& sched) {
+    StreamOptions options;
+    options.window = window;
+    options.batch_size = config.batch_size;
+    options.hot_frontier_threshold = config.hot_threshold;
+    options.max_cycle_length = max_len;
+    options.spawn_policy = config.policy;
+    options.use_reach_prune = config.prune;
+    options.prune_frontier_threshold = config.prune_threshold;
+    StreamEngine engine(options, sched, &sink);
+    for (const auto& e : graph.edges_by_time()) {
+      engine.push(e.src, e.dst, e.ts);
+    }
+    engine.flush();
+    counted = engine.cycles_found();
+    if (stats_out != nullptr) {
+      *stats_out = engine.stats();
+    }
+  });
+  EXPECT_EQ(counted, sink.size());
+  return sink.sorted_cycles();
+}
+
+// The generated graph roster: >= 3 distinct shapes (heavy-tailed bursty,
+// uniform random, dense clique-based) whose batch cycle populations are
+// non-trivial but enumerable in milliseconds.
+struct NamedGraph {
+  std::string name;
+  TemporalGraph graph;
+  Timestamp window;
+};
+
+std::vector<NamedGraph> generated_roster() {
+  std::vector<NamedGraph> roster;
+  {
+    ScaleFreeTemporalParams params;
+    params.num_vertices = 60;
+    params.num_edges = 420;
+    params.time_span = 2000;
+    params.attachment = 0.8;
+    params.burstiness = 0.6;
+    params.allow_self_loops = true;
+    params.seed = 7;
+    roster.push_back({"scale_free", scale_free_temporal(params), 160});
+  }
+  roster.push_back(
+      {"uniform", uniform_temporal(40, 320, 1200, /*seed=*/9), 140});
+  roster.push_back({"dense_clique",
+                    with_uniform_timestamps(complete_digraph(6), 80,
+                                            /*seed=*/3),
+                    40});
+  return roster;
+}
+
+TEST(StreamEquivalence, SerialReplayMatchesBatch) {
+  for (const auto& entry : generated_roster()) {
+    SCOPED_TRACE(entry.name);
+    const auto batch = batch_cycles(entry.graph, entry.window);
+    ASSERT_FALSE(batch.empty()) << "degenerate roster entry";
+    const auto streamed =
+        replay_cycles(entry.graph, entry.window, ReplayConfig{});
+    EXPECT_EQ(streamed, batch);
+  }
+}
+
+TEST(StreamEquivalence, FineReplayMatchesBatch) {
+  for (const auto& entry : generated_roster()) {
+    SCOPED_TRACE(entry.name);
+    const auto batch = batch_cycles(entry.graph, entry.window);
+    // Everything escalates, every branch spawns: the maximally parallel
+    // decomposition must still find each cycle exactly once.
+    ReplayConfig always{4, 32, 0, SpawnPolicy::kAlways, true};
+    EXPECT_EQ(replay_cycles(entry.graph, entry.window, always), batch);
+    // Mixed mode: low escalation threshold, adaptive spawning.
+    ReplayConfig adaptive{4, 128, 4, SpawnPolicy::kAdaptive, true};
+    EXPECT_EQ(replay_cycles(entry.graph, entry.window, adaptive), batch);
+  }
+}
+
+TEST(StreamEquivalence, BoundedLengthMatchesBatch) {
+  const auto roster = generated_roster();
+  const auto& entry = roster.front();
+  for (const int max_len : {2, 3, 4}) {
+    SCOPED_TRACE(max_len);
+    const auto batch = batch_cycles(entry.graph, entry.window, max_len);
+    EXPECT_EQ(replay_cycles(entry.graph, entry.window, ReplayConfig{}, max_len),
+              batch);
+    ReplayConfig fine{4, 32, 0, SpawnPolicy::kAlways, true};
+    EXPECT_EQ(replay_cycles(entry.graph, entry.window, fine, max_len), batch);
+  }
+}
+
+TEST(StreamEquivalence, PruningIsPurelyAnOptimisation) {
+  const auto roster = generated_roster();
+  const auto& entry = roster[1];
+  const auto batch = batch_cycles(entry.graph, entry.window);
+  ReplayConfig no_prune;
+  no_prune.prune = false;
+  EXPECT_EQ(replay_cycles(entry.graph, entry.window, no_prune), batch);
+  // Forcing the reverse-BFS prune onto every search (threshold 0) must not
+  // change the cycle set either, serial or fine.
+  for (const auto& e : roster) {
+    SCOPED_TRACE(e.name);
+    ReplayConfig forced;
+    forced.prune_threshold = 0;
+    EXPECT_EQ(replay_cycles(e.graph, e.window, forced),
+              batch_cycles(e.graph, e.window));
+    ReplayConfig forced_fine{4, 32, 0, SpawnPolicy::kAlways, true, 0};
+    EXPECT_EQ(replay_cycles(e.graph, e.window, forced_fine),
+              batch_cycles(e.graph, e.window));
+  }
+}
+
+TEST(StreamEquivalence, BatchSizeIsInvisible) {
+  const auto roster = generated_roster();
+  const auto& entry = roster.front();
+  const auto batch = batch_cycles(entry.graph, entry.window);
+  for (const std::size_t batch_size : {1u, 7u, 1024u}) {
+    SCOPED_TRACE(batch_size);
+    ReplayConfig config;
+    config.batch_size = batch_size;
+    EXPECT_EQ(replay_cycles(entry.graph, entry.window, config), batch);
+  }
+}
+
+TEST(StreamEquivalence, TinySnapFixtureMatchesBatch) {
+  const std::string path =
+      std::string(PARCYCLE_TEST_DATA_DIR) + "/tiny_snap.txt";
+  const TemporalGraph graph = load_temporal_edge_list_file(path);
+  ASSERT_GT(graph.num_edges(), 0u);
+  for (const Timestamp window : {20, 40, 100}) {
+    SCOPED_TRACE(window);
+    const auto batch = batch_cycles(graph, window);
+    EXPECT_EQ(replay_cycles(graph, window, ReplayConfig{}), batch);
+    ReplayConfig fine{2, 4, 0, SpawnPolicy::kAlways, true};
+    EXPECT_EQ(replay_cycles(graph, window, fine), batch);
+  }
+}
+
+TEST(StreamEquivalence, StatsAreCoherent) {
+  const auto roster = generated_roster();
+  const auto& entry = roster.front();
+  StreamStats stats;
+  ReplayConfig config{2, 32, 8, SpawnPolicy::kAdaptive, true};
+  const auto streamed =
+      replay_cycles(entry.graph, entry.window, config, 0, &stats);
+  EXPECT_EQ(stats.cycles_found, streamed.size());
+  EXPECT_EQ(stats.edges_ingested, entry.graph.num_edges());
+  EXPECT_EQ(stats.live_edges + stats.expired_edges, stats.edges_ingested);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GE(stats.latency_p99_ns, stats.latency_p50_ns);
+  EXPECT_GE(stats.latency_max_ns, stats.latency_p50_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window expiry semantics vs a brute-force filter
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindow, ExpiryMatchesBruteForceFilter) {
+  const TemporalGraph source = uniform_temporal(24, 400, 600, /*seed=*/17);
+  const Timestamp window = 90;
+
+  SlidingWindowGraph live;
+  std::vector<TemporalEdge> all;  // everything ingested so far
+  Timestamp cutoff = std::numeric_limits<Timestamp>::min();
+  for (const auto& e : source.edges_by_time()) {
+    if (e.ts - window > cutoff) {
+      cutoff = e.ts - window;
+      live.expire_before(cutoff);
+    }
+    live.ingest(e.src, e.dst, e.ts);
+    all.push_back(e);
+
+    // Brute-force expectation: edges with ts >= cutoff, in arrival order.
+    std::vector<TemporalEdge> expect_live;
+    for (const auto& kept : all) {
+      if (kept.ts >= cutoff) {
+        expect_live.push_back(kept);
+      }
+    }
+    ASSERT_EQ(live.live_edges(), expect_live.size());
+
+    for (VertexId v = 0; v < live.num_vertices(); ++v) {
+      std::vector<std::pair<VertexId, Timestamp>> expect_out;
+      std::vector<std::pair<VertexId, Timestamp>> expect_in;
+      for (const auto& kept : expect_live) {
+        if (kept.src == v) expect_out.emplace_back(kept.dst, kept.ts);
+        if (kept.dst == v) expect_in.emplace_back(kept.src, kept.ts);
+      }
+      const auto out = live.out_edges(v);
+      ASSERT_EQ(out.size(), expect_out.size()) << "vertex " << v;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].dst, expect_out[i].first);
+        EXPECT_EQ(out[i].ts, expect_out[i].second);
+      }
+      const auto in = live.in_edges(v);
+      ASSERT_EQ(in.size(), expect_in.size()) << "vertex " << v;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(in[i].src, expect_in[i].first);
+        EXPECT_EQ(in[i].ts, expect_in[i].second);
+      }
+    }
+  }
+  EXPECT_GT(live.total_expired(), 0u);
+  EXPECT_GT(live.expiry_epochs(), 0u);
+}
+
+TEST(SlidingWindow, WindowedSpansMatchTemporalGraphContract) {
+  const TemporalGraph source = uniform_temporal(16, 200, 300, /*seed=*/5);
+  SlidingWindowGraph live(source.num_vertices());
+  for (const auto& e : source.edges_by_time()) {
+    live.ingest(e.src, e.dst, e.ts);
+  }
+  // No expiry yet: windowed queries must agree with the immutable CSR's.
+  const std::vector<std::pair<Timestamp, Timestamp>> windows = {
+      {50, 120}, {0, 299}, {200, 100}};
+  for (VertexId v = 0; v < source.num_vertices(); ++v) {
+    for (const auto& [lo, hi] : windows) {
+      const auto a = source.out_edges_in_window(v, lo, hi);
+      const auto b = live.out_edges_in_window(v, lo, hi);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].dst, b[i].dst);
+        EXPECT_EQ(a[i].ts, b[i].ts);
+        EXPECT_EQ(a[i].id, b[i].id);
+      }
+    }
+  }
+}
+
+TEST(SlidingWindow, RejectsTimestampRegression) {
+  SlidingWindowGraph live;
+  live.ingest(0, 1, 10);
+  EXPECT_THROW(live.ingest(1, 0, 9), std::invalid_argument);
+  EXPECT_NO_THROW(live.ingest(1, 0, 10));  // ties are fine
+}
+
+TEST(SlidingWindow, SnapshotReproducesBatchGraph) {
+  const TemporalGraph source = uniform_temporal(12, 150, 250, /*seed=*/11);
+  SlidingWindowGraph live;
+  for (const auto& e : source.edges_by_time()) {
+    live.ingest(e.src, e.dst, e.ts);
+  }
+  const TemporalGraph snap = live.snapshot();
+  ASSERT_EQ(snap.num_edges(), source.num_edges());
+  const auto a = source.edges_by_time();
+  const auto b = snap.edges_by_time();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].ts, b[i].ts);
+  }
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -4,7 +4,9 @@
 // money-laundering / circular-trading signal.
 //
 //   ./examples/fraud_detection [num_accounts] [num_transfers] [max_hops]
-//                              [--monitor]
+//                              [--monitor] [--snapshot <path>]
+//                              [--snapshot-every N] [--restore <path>]
+//                              [--feed-delay-us U]
 //
 // Two scans are run: a temporal-cycle scan (transfers strictly time-ordered
 // around the ring — the paper's laundering signal) and a hop-constrained
@@ -17,13 +19,26 @@
 // (src/stream/engine.hpp), raising an alert the moment each laundering ring
 // closes instead of waiting for a batch scan — the deployment shape of the
 // paper's motivating application.
+//
+// The monitor is restartable: --snapshot <path> persists the engine state
+// every --snapshot-every transfers (default 2000) and at completion, and a
+// SIGTERM mid-feed finishes the in-flight transfer, writes a final snapshot
+// and exits with status 3. --restore <path> resumes a killed monitor from
+// its snapshot — no replay of already-processed transfers — and the combined
+// alert total must still equal the uninterrupted batch scan (CI kills and
+// resumes the monitor to assert exactly that). --feed-delay-us throttles the
+// feed so a signal reliably lands mid-stream.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "bench_support/cli.hpp"
@@ -74,6 +89,12 @@ class AlertSink final : public parcycle::CycleSink {
   std::uint64_t alerts_ = 0;
 };
 
+// SIGTERM requests a graceful monitor shutdown: finish the in-flight
+// transfer, persist a snapshot, exit 3.
+std::atomic<bool> g_terminate{false};
+
+void handle_sigterm(int) { g_terminate.store(true, std::memory_order_relaxed); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,20 +102,39 @@ int main(int argc, char** argv) {
   if (help_requested(argc, argv,
                      "usage: fraud_detection [num_accounts] [num_transfers] "
                      "[max_hops] [--monitor]\n"
+                     "  [--snapshot <path>] [--snapshot-every N] "
+                     "[--restore <path>] [--feed-delay-us U]\n"
                      "Finds temporal cycles plus hop-constrained (<= max_hops "
                      "edges, order-agnostic) rings in a synthetic payment "
                      "network (defaults: 2000 accounts, 20000 transfers, 4 "
                      "hops).\n--monitor additionally replays the transfers as "
                      "a live stream through the incremental engine,\nraising "
-                     "per-ring alerts the moment they close.\n")) {
+                     "per-ring alerts the moment they close.\n--snapshot "
+                     "persists the monitor's engine state every N transfers "
+                     "(default 2000) and on SIGTERM\n(exit 3); --restore "
+                     "resumes a killed monitor without replaying processed "
+                     "transfers;\n--feed-delay-us throttles the feed so a "
+                     "signal lands mid-stream.\n")) {
     return 0;
   }
 
   bool monitor = false;
+  std::string snapshot_path;
+  std::string restore_path;
+  std::uint64_t snapshot_every = 2000;
+  long feed_delay_us = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--monitor") == 0) {
       monitor = true;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
+      snapshot_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--restore") == 0 && i + 1 < argc) {
+      restore_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--feed-delay-us") == 0 && i + 1 < argc) {
+      feed_delay_us = std::atol(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -199,11 +239,50 @@ int main(int argc, char** argv) {
   stream_options.max_cycle_length = options.max_cycle_length;
   stream_options.num_vertices_hint = payments.num_vertices();
   StreamEngine engine(stream_options, sched, &alerts);
+  std::uint64_t resume_at = 0;
   WallTimer feed_timer;
-  for (const auto& transfer : payments.edges_by_time()) {
-    engine.push(transfer.src, transfer.dst, transfer.ts);
+  try {
+    if (!restore_path.empty()) {
+      engine.restore_snapshot_file(restore_path);
+      resume_at = engine.edges_pushed();
+      std::cout << "monitor: restored " << restore_path
+                << ", resuming at transfer " << resume_at << " ("
+                << engine.cycles_found() << " rings already detected)\n";
+    }
+    if (!snapshot_path.empty()) {
+      std::signal(SIGTERM, handle_sigterm);
+    }
+    feed_timer.reset();
+    const auto feed = payments.edges_by_time();
+    for (std::uint64_t i = resume_at; i < feed.size(); ++i) {
+      const auto& transfer = feed[i];
+      engine.push(transfer.src, transfer.dst, transfer.ts);
+      if (feed_delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(feed_delay_us));
+      }
+      if (!snapshot_path.empty() && snapshot_every > 0 &&
+          engine.edges_pushed() % snapshot_every == 0) {
+        engine.save_snapshot_file(snapshot_path);
+      }
+      if (g_terminate.load(std::memory_order_relaxed)) {
+        engine.save_snapshot_file(snapshot_path);
+        std::cout << "monitor: SIGTERM after " << engine.edges_pushed()
+                  << " transfers; snapshot written to " << snapshot_path
+                  << "\n";
+        return 3;
+      }
+    }
+    engine.flush();
+    if (!snapshot_path.empty()) {
+      // Final snapshot: a restart after completion resumes to a no-op feed,
+      // and a TERM that raced the last transfers still finds current state.
+      engine.save_snapshot_file(snapshot_path);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "monitor error: " << error.what() << "\n";
+    return 1;
   }
-  engine.flush();
+  // For a restored run this times the replayed suffix only — informational.
   const double feed_seconds = feed_timer.elapsed_seconds();
   const StreamStats stream_stats = engine.stats();
   if (alerts.alerts() > 5) {

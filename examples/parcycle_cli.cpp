@@ -86,7 +86,10 @@ int usage() {
                "serial-johnson|serial-rt|tiernan|2scent|brute]\n"
                "  [--threads N] [--max-length N] [--hops K] "
                "[--no-cycle-union] [--no-bundling] [--print]\n"
-               "  [--stream] [--stream-batch N]\n"
+               "  [--stream] [--stream-batch N] [--stream-windows W1,W2,...] "
+               "[--stream-slack S]\n"
+               "  [--snapshot-path <path>] [--snapshot-every N] "
+               "[--restore <path>]\n"
                "  [--dataset-file <path>] [--dataset <NAME>] "
                "[--dataset-dir <dir>] [--save-cache <path>] [--serial-load]\n"
                "--hops K enumerates hop-constrained cycles (<= K edges) with "
@@ -102,7 +105,12 @@ int usage() {
                "--stream (temporal mode) replays the edges through the "
                "incremental per-edge engine with the same\nwindow — identical "
                "cycles, reported as they close, plus throughput/latency "
-               "stats.\n";
+               "stats.\n"
+               "--stream-windows runs several concurrent window lanes off one "
+               "ingest; --stream-slack tolerates\nout-of-order arrivals up to "
+               "S time units late. --snapshot-path/--snapshot-every persist "
+               "the engine\nstate every N edges (and at completion); "
+               "--restore resumes a snapshot mid-stream without replay.\n";
   return 2;
 }
 
@@ -130,6 +138,11 @@ int main(int argc, char** argv) {
   bool print = false;
   bool stream = false;
   std::size_t stream_batch = StreamOptions{}.batch_size;
+  std::vector<Timestamp> stream_windows;
+  Timestamp stream_slack = 0;
+  std::string snapshot_path;
+  std::string restore_path;
+  std::uint64_t snapshot_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -171,6 +184,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--stream-batch") {
       stream_batch = next() ? static_cast<std::size_t>(std::atoll(argv[i]))
                             : stream_batch;
+    } else if (arg == "--stream-windows") {
+      if (next()) {
+        stream_windows.clear();
+        const std::string list = argv[i];
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+          const std::size_t comma = list.find(',', pos);
+          const std::string tok = list.substr(pos, comma - pos);
+          if (!tok.empty()) {
+            stream_windows.push_back(std::atoll(tok.c_str()));
+          }
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
+    } else if (arg == "--stream-slack") {
+      stream_slack = next() ? std::atoll(argv[i]) : 0;
+    } else if (arg == "--snapshot-path") {
+      snapshot_path = next() ? argv[i] : "";
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = next() ? static_cast<std::uint64_t>(std::atoll(argv[i]))
+                              : 0;
+    } else if (arg == "--restore") {
+      restore_path = next() ? argv[i] : "";
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -262,15 +299,39 @@ int main(int argc, char** argv) {
   if (stream) {
     StreamOptions stream_options;
     stream_options.window = window;
+    stream_options.windows = stream_windows;  // multi-δ lanes when non-empty
+    stream_options.reorder_slack = stream_slack;
     stream_options.batch_size = stream_batch;
     stream_options.max_cycle_length = options.max_cycle_length;
     stream_options.use_reach_prune = options.use_cycle_union;
     stream_options.num_vertices_hint = graph.num_vertices();
     StreamEngine engine(stream_options, sched, sink);
-    for (const auto& e : graph.edges_by_time()) {
-      engine.push(e.src, e.dst, e.ts);
+    const auto edges = graph.edges_by_time();
+    std::uint64_t start = 0;
+    try {
+      if (!restore_path.empty()) {
+        engine.restore_snapshot_file(restore_path);
+        start = engine.edges_pushed();
+        std::cerr << "restored snapshot " << restore_path << ": resuming at "
+                  << "edge " << start << " of " << edges.size() << "\n";
+      }
+      for (std::uint64_t i = start; i < edges.size(); ++i) {
+        const auto& e = edges[i];
+        engine.push(e.src, e.dst, e.ts);
+        if (snapshot_every > 0 && !snapshot_path.empty() &&
+            engine.edges_pushed() % snapshot_every == 0) {
+          engine.save_snapshot_file(snapshot_path);
+        }
+      }
+      engine.flush();
+      if (!snapshot_path.empty()) {
+        engine.save_snapshot_file(snapshot_path);
+        std::cerr << "snapshot written to " << snapshot_path << "\n";
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 1;
     }
-    engine.flush();
     const StreamStats stats = engine.stats();
     result.num_cycles = stats.cycles_found;
     result.work = stats.work;
@@ -285,6 +346,17 @@ int main(int argc, char** argv) {
               << stats.escalated_edges << " escalated, "
               << stats.expired_edges << " expired ("
               << stats.live_edges << " live at end)\n";
+    if (stats.late_edges_rejected > 0) {
+      std::cerr << "stream: " << stats.late_edges_rejected
+                << " late edges rejected (older than the reorder slack)\n";
+    }
+    if (stats.per_window.size() > 1) {
+      for (const StreamWindowStats& ws : stats.per_window) {
+        std::cerr << "stream: window " << ws.window << " -> "
+                  << ws.cycles_found << " cycles, " << ws.work.edges_visited
+                  << " edge visits, " << ws.escalated_edges << " escalated\n";
+      }
+    }
   } else if (hops > 0 && mode == "simple") {
     const Digraph digraph = graph.static_projection();
     result = hc_simple_cycles(digraph, hops, options, sink);

@@ -131,32 +131,59 @@ def diff_hop_constrained(base, fresh, args):
 def diff_stream(base, fresh, args):
     del args  # the streaming searches carry no shared blocking state, so
     # cycle counts, edge visits and escalation decisions are deterministic
-    # across schedules and compare exactly; throughput and latency are
-    # informational.
-    for field in ("batch_size", "hot_threshold", "prune_frontier", "max_length"):
+    # across schedules and compare exactly — per window lane in the multi-δ
+    # schema; throughput and latency are informational.
+    for field in (
+        "batch_size",
+        "hot_threshold",
+        "prune_frontier",
+        "max_length",
+        "window_scales",
+        "shuffled",
+    ):
         check_exact("stream", field, base.get(field), fresh.get(field))
     base_sets = index_by(base["datasets"], "name", "stream")
     fresh_sets = index_by(fresh["datasets"], "name", "stream")
     for name in match_keys(base_sets, fresh_sets, "dataset", "stream"):
         b, f = base_sets[name], fresh_sets[name]
         ctx = f"stream/{name}"
-        for field in ("window", "edges", "batch_cycles"):
-            check_exact(ctx, field, b[field], f[field])
+        if "windows" in b:
+            # Multi-δ schema: per-window batch references and per-row lanes.
+            for field in ("windows", "edges", "slack"):
+                check_exact(ctx, field, b[field], f[field])
+            b_batch = index_by(b["batch"], "window", ctx)
+            f_batch = index_by(f["batch"], "window", ctx)
+            for window in match_keys(b_batch, f_batch, "batch window", ctx):
+                check_exact(
+                    f"{ctx}/batch window={window}",
+                    "cycles",
+                    b_batch[window]["cycles"],
+                    f_batch[window]["cycles"],
+                )
+        else:
+            for field in ("window", "edges", "batch_cycles"):
+                check_exact(ctx, field, b[field], f[field])
         b_rows = index_by(b["rows"], "threads", ctx)
         f_rows = index_by(f["rows"], "threads", ctx)
         for threads in match_keys(b_rows, f_rows, "thread count", ctx):
             br, fr = b_rows[threads], f_rows[threads]
             row_ctx = f"{ctx}/threads={threads}"
-            check_exact(row_ctx, "cycles", br["cycles"], fr["cycles"])
-            check_exact(
-                row_ctx, "edges_visited", br["edges_visited"], fr["edges_visited"]
-            )
+            for field in ("cycles", "edges_visited", "escalated_edges"):
+                check_exact(row_ctx, field, br[field], fr[field])
             check_exact(
                 row_ctx,
-                "escalated_edges",
-                br["escalated_edges"],
-                fr["escalated_edges"],
+                "late_edges_rejected",
+                br.get("late_edges_rejected"),
+                fr.get("late_edges_rejected"),
             )
+            b_lanes = index_by(br.get("per_window", []), "window", row_ctx)
+            f_lanes = index_by(fr.get("per_window", []), "window", row_ctx)
+            for window in match_keys(b_lanes, f_lanes, "window lane", row_ctx):
+                lane_ctx = f"{row_ctx}/window={window}"
+                for field in ("cycles", "edges_visited", "escalated_edges"):
+                    check_exact(
+                        lane_ctx, field, b_lanes[window][field], f_lanes[window][field]
+                    )
 
 
 SCHEMAS = {

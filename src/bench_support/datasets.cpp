@@ -183,4 +183,15 @@ TemporalGraph DatasetSource::load(Scheduler* sched, LoadStats* stats,
   return graph;
 }
 
+EdgeStreamReader DatasetSource::open_stream(Scheduler* sched) const {
+  if (!is_real()) {
+    TemporalGraph graph = build_dataset(*spec);
+    const auto edges = graph.edges_by_time();
+    return EdgeStreamReader::from_edges(
+        std::vector<TemporalEdge>(edges.begin(), edges.end()),
+        graph.num_vertices());
+  }
+  return EdgeStreamReader::open_file(path, {}, sched);
+}
+
 }  // namespace parcycle

@@ -15,6 +15,7 @@
 
 #include "graph/temporal_graph.hpp"
 #include "io/edge_list.hpp"
+#include "io/edge_stream.hpp"
 
 namespace parcycle {
 
@@ -82,6 +83,13 @@ struct DatasetSource {
   // arguments except that `stats` (when given) reports zero parse work.
   TemporalGraph load(Scheduler* sched = nullptr, LoadStats* stats = nullptr,
                      bool update_cache = false) const;
+
+  // Opens the dataset as a sequential edge stream in canonical (ts, src,
+  // dst) order — the StreamEngine feed path. Real .pcg caches stream off
+  // disk (checksum-validated, no in-memory edge set); real text files parse
+  // once (in parallel when `sched` is non-null) and stream from memory;
+  // synthetic analogs stream their generated edges.
+  EdgeStreamReader open_stream(Scheduler* sched = nullptr) const;
 };
 
 // $PARCYCLE_DATASET_DIR, or empty (synthetic-only) when unset.

@@ -1,0 +1,91 @@
+// Sequential edge streaming: feed a StreamEngine straight off disk without
+// materialising a TemporalGraph.
+//
+// Three sources behind one cursor API:
+//
+//  * a ".pcg" binary graph cache (sniffed by magic, not name): the payload
+//    checksum is validated up front with a constant-memory sequential scan,
+//    then the three edge columns (src, dst, ts) are streamed in chunks. The
+//    cache stores edges in the canonical (ts, src, dst) order, so the
+//    streamed sequence matches a batch TemporalGraph's edge ids exactly —
+//    no in-memory copy of the edge set ever exists;
+//  * a text edge list: parsed (optionally in parallel) into the canonical
+//    order once, then streamed from memory — text files carry no order
+//    guarantee, so the sort is unavoidable;
+//  * an in-memory edge vector (synthetic datasets, tests).
+//
+// skip() fast-forwards the cursor without yielding edges — the
+// resume-from-snapshot path: a restored StreamEngine consumed
+// `edges_pushed()` edges already, so the driver skips exactly that many and
+// keeps pushing. On the cache path a skip is O(1) (cursor arithmetic, no
+// reads).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "io/edge_list.hpp"
+
+namespace parcycle {
+
+class Scheduler;
+
+class EdgeStreamReader {
+ public:
+  // Opens `path`, sniffing the graph-cache magic: caches stream off disk,
+  // anything else parses as a text edge list (in parallel when `sched` is
+  // non-null). Throws std::runtime_error on unreadable, truncated or corrupt
+  // input — a cache with a bad checksum is rejected before the first edge.
+  static EdgeStreamReader open_file(const std::string& path,
+                                    const EdgeListOptions& options = {},
+                                    Scheduler* sched = nullptr);
+
+  // Streams an in-memory edge set as-is (callers wanting canonical order
+  // sort first or construct via a TemporalGraph).
+  static EdgeStreamReader from_edges(std::vector<TemporalEdge> edges,
+                                     VertexId num_vertices = 0);
+
+  EdgeStreamReader(EdgeStreamReader&&) = default;
+  EdgeStreamReader& operator=(EdgeStreamReader&&) = default;
+
+  // Yields the next edge (id = kInvalidEdge; the consumer assigns ids).
+  // Returns false at end of stream.
+  bool next(TemporalEdge& edge);
+
+  // Fast-forwards past `n` edges (clamped to the end of the stream).
+  void skip(std::uint64_t n);
+
+  std::uint64_t total_edges() const noexcept { return total_edges_; }
+  // Edges consumed so far, skipped ones included.
+  std::uint64_t position() const noexcept { return position_; }
+  bool streaming_from_cache() const noexcept { return cache_.is_open(); }
+  // Vertex-count hint (cache header / parsed graph / caller-provided).
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+
+ private:
+  EdgeStreamReader() = default;
+
+  void refill_chunk();
+
+  // In-memory path (text parse or from_edges).
+  std::vector<TemporalEdge> edges_;
+
+  // Cache path: column base offsets in the file plus a chunked read buffer.
+  std::ifstream cache_;
+  std::uint64_t src_base_ = 0;
+  std::uint64_t dst_base_ = 0;
+  std::uint64_t ts_base_ = 0;
+  std::vector<VertexId> chunk_src_;
+  std::vector<VertexId> chunk_dst_;
+  std::vector<Timestamp> chunk_ts_;
+  std::uint64_t chunk_start_ = 0;  // stream position of chunk_*[0]
+
+  std::uint64_t total_edges_ = 0;
+  std::uint64_t position_ = 0;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace parcycle

@@ -28,44 +28,133 @@ std::uint64_t histogram_percentile(const std::uint64_t (&buckets)[64],
   return std::numeric_limits<std::uint64_t>::max();
 }
 
+// Canonical stream order — the order a batch TemporalGraph sorts its edges
+// into — so the reorder stage's releases keep streamed edge ids identical to
+// batch ids even when arrivals were shuffled within the slack.
+bool edge_rank_less(const TemporalEdge& a, const TemporalEdge& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
+// std::push_heap/pop_heap build a max-heap; invert to pop the canonical
+// minimum first.
+bool heap_order(const TemporalEdge& a, const TemporalEdge& b) {
+  return edge_rank_less(b, a);
+}
+
+// max_seen - slack without signed underflow near the Timestamp minimum.
+Timestamp saturating_floor(Timestamp max_seen, Timestamp slack) {
+  const Timestamp lowest = std::numeric_limits<Timestamp>::min();
+  return max_seen < lowest + slack ? lowest : max_seen - slack;
+}
+
 }  // namespace
 
 StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
                            CycleSink* sink)
+    : StreamEngine(options, sched, std::vector<CycleSink*>{sink}) {}
+
+StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
+                           std::vector<CycleSink*> lane_sinks)
     : options_(options),
       sched_(sched),
-      sink_(sink),
+      lane_sinks_(std::move(lane_sinks)),
+      deltas_(options.windows.empty()
+                  ? std::vector<Timestamp>{options.window}
+                  : options.windows),
       graph_(options.num_vertices_hint),
       scratch_pool_([] { return std::make_unique<StreamSearchScratch>(); }),
+      reorder_max_seen_(std::numeric_limits<Timestamp>::min()),
+      reorder_floor_(std::numeric_limits<Timestamp>::min()),
       last_pushed_ts_(std::numeric_limits<Timestamp>::min()) {
-  if (options_.window <= 0) {
-    throw std::invalid_argument("StreamOptions::window must be positive");
+  for (const Timestamp delta : deltas_) {
+    if (delta <= 0) {
+      throw std::invalid_argument(
+          "StreamOptions: every window must be positive");
+    }
+    retention_ = std::max(retention_, delta);
+  }
+  if (options_.reorder_slack < 0) {
+    throw std::invalid_argument(
+        "StreamOptions::reorder_slack must be non-negative");
   }
   if (options_.batch_size == 0) {
     options_.batch_size = 1;
   }
+  lane_sinks_.resize(deltas_.size(), nullptr);
   sinks_.reserve(sched_.num_workers());
   for (unsigned i = 0; i < sched_.num_workers(); ++i) {
     sinks_.push_back(std::make_unique<WorkerSink>());
+    sinks_.back()->lanes.resize(deltas_.size());
   }
   pending_.reserve(options_.batch_size);
 }
 
-void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
-  if (!pending_.empty() || graph_.total_ingested() > 0) {
-    if (ts < last_pushed_ts_) {
-      throw std::invalid_argument(
-          "StreamEngine::push: timestamps must be non-decreasing");
-    }
-  }
-  last_pushed_ts_ = ts;
-  pending_.push_back(TemporalEdge{src, dst, ts, kInvalidEdge});
+void StreamEngine::enqueue(const TemporalEdge& edge) {
+  last_pushed_ts_ = edge.ts;
+  pending_.push_back(edge);
   if (pending_.size() >= options_.batch_size) {
     process_batch();  // structural backpressure: drain before accepting more
   }
 }
 
-void StreamEngine::flush() { process_batch(); }
+void StreamEngine::release_ready() {
+  // Everything below the floor is releasable: no future accepted arrival can
+  // precede it (accepted arrivals have ts >= floor, and the floor never
+  // moves backwards), so popping the heap yields the canonical order.
+  while (!reorder_heap_.empty() && reorder_heap_.front().ts < reorder_floor_) {
+    std::pop_heap(reorder_heap_.begin(), reorder_heap_.end(), heap_order);
+    const TemporalEdge edge = reorder_heap_.back();
+    reorder_heap_.pop_back();
+    enqueue(edge);
+  }
+}
+
+void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
+  edges_pushed_ += 1;
+  if (options_.reorder_slack == 0) {
+    // Strict legacy contract: the producer guarantees sorted input.
+    if (!pending_.empty() || graph_.total_ingested() > 0) {
+      if (ts < last_pushed_ts_) {
+        throw std::invalid_argument(
+            "StreamEngine::push: timestamps must be non-decreasing "
+            "(configure reorder_slack for out-of-order streams)");
+      }
+    }
+    enqueue(TemporalEdge{src, dst, ts, kInvalidEdge});
+    return;
+  }
+  if (ts < reorder_floor_) {
+    late_rejected_ += 1;
+    return;
+  }
+  reorder_heap_.push_back(TemporalEdge{src, dst, ts, kInvalidEdge});
+  std::push_heap(reorder_heap_.begin(), reorder_heap_.end(), heap_order);
+  reorder_peak_buffered_ =
+      std::max<std::uint64_t>(reorder_peak_buffered_, reorder_heap_.size());
+  if (ts > reorder_max_seen_) {
+    reorder_max_seen_ = ts;
+    reorder_floor_ = std::max(
+        reorder_floor_, saturating_floor(ts, options_.reorder_slack));
+  }
+  release_ready();
+}
+
+void StreamEngine::flush() {
+  if (!reorder_heap_.empty()) {
+    std::sort(reorder_heap_.begin(), reorder_heap_.end(), edge_rank_less);
+    for (const TemporalEdge& edge : reorder_heap_) {
+      enqueue(edge);
+    }
+    reorder_heap_.clear();
+    // Harden the watermark: everything up to max_seen is now ingested, so an
+    // in-slack straggler older than this flush point would reach the graph
+    // out of order — count it as late instead.
+    reorder_floor_ = std::max(reorder_floor_, reorder_max_seen_);
+  }
+  process_batch();
+}
 
 namespace {
 
@@ -103,8 +192,8 @@ void StreamEngine::process_batch() {
   }
   WallTimer timer;
   // Every search of this batch only needs edges with
-  // ts >= closing.ts - window >= batch_min_ts - window.
-  graph_.expire_before(pending_.front().ts - options_.window);
+  // ts >= closing.ts - retention >= batch_min_ts - retention.
+  graph_.expire_before(pending_.front().ts - retention_);
   for (TemporalEdge& e : pending_) {
     e.id = graph_.ingest(e.src, e.dst, e.ts);
   }
@@ -118,7 +207,9 @@ void StreamEngine::process_batch() {
   // The final wait() ordered every task's sink writes before this read.
   std::uint64_t cycles = 0;
   for (const auto& sink : sinks_) {
-    cycles += sink->cycles;
+    for (const LaneCounters& lane : sink->lanes) {
+      cycles += lane.cycles;
+    }
   }
   cycles_found_ = cycles;
   busy_seconds_ += timer.elapsed_seconds();
@@ -135,67 +226,94 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
   popts.spawn_policy = options_.spawn_policy;
   popts.spawn_queue_threshold = options_.spawn_queue_threshold;
 
-  WallTimer timer;
   auto scratch = scratch_pool_.acquire();
-  const std::size_t frontier =
-      edge.src == edge.dst
-          ? 0
-          : graph_
-                .out_edges_in_window(edge.dst, edge.ts - options_.window,
-                                     edge.ts - 1)
-                .size();
-  const bool hot =
-      edge.src != edge.dst && frontier >= options_.hot_frontier_threshold;
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    const Timestamp delta = deltas_[lane];
+    LaneCounters& counters = sink.lanes[lane];
+    WallTimer timer;
+    const std::size_t frontier =
+        edge.src == edge.dst
+            ? 0
+            : graph_
+                  .out_edges_in_window(edge.dst, edge.ts - delta, edge.ts - 1)
+                  .size();
+    const bool hot =
+        edge.src != edge.dst && frontier >= options_.hot_frontier_threshold;
 
-  EnumOptions eopts;
-  eopts.max_cycle_length = options_.max_cycle_length;
-  // Both thresholds read only the graph, so the serial/fine split and the
-  // prune decision — hence cycle counts and edge visits — are deterministic
-  // across schedules and thread counts.
-  eopts.use_cycle_union = options_.use_reach_prune &&
-                          frontier >= options_.prune_frontier_threshold;
-  std::uint64_t found = 0;
-  if (hot) {
-    sink.escalated += 1;
-    found = fine_cycles_closed_by_edge(graph_, edge, options_.window, sched_,
-                                       eopts, popts, *scratch, sink.work,
-                                       sink_);
-  } else {
-    found = cycles_closed_by_edge(graph_, edge, options_.window, eopts,
-                                  *scratch, sink.work, sink_);
+    EnumOptions eopts;
+    eopts.max_cycle_length = options_.max_cycle_length;
+    // Both thresholds read only the graph, so the serial/fine split and the
+    // prune decision — hence cycle counts and edge visits — are
+    // deterministic across schedules and thread counts, per lane.
+    eopts.use_cycle_union = options_.use_reach_prune &&
+                            frontier >= options_.prune_frontier_threshold;
+    std::uint64_t found = 0;
+    if (hot) {
+      counters.escalated += 1;
+      found = fine_cycles_closed_by_edge(graph_, edge, delta, sched_, eopts,
+                                         popts, *scratch, counters.work,
+                                         lane_sinks_[lane]);
+    } else {
+      found = cycles_closed_by_edge(graph_, edge, delta, eopts, *scratch,
+                                    counters.work, lane_sinks_[lane]);
+    }
+    counters.cycles += found;
+    const std::uint64_t ns = timer.elapsed_ns();
+    // bit_width(ns) is 0..64; the top bucket absorbs the (never observed in
+    // practice) >= 2^63 ns tail.
+    counters.latency_buckets[std::min<int>(std::bit_width(ns), 63)] += 1;
+    counters.latency_max_ns = std::max(counters.latency_max_ns, ns);
   }
   scratch_pool_.release(std::move(scratch));
-
-  sink.cycles += found;
-  const std::uint64_t ns = timer.elapsed_ns();
-  // bit_width(ns) is 0..64; the top bucket absorbs the (never observed in
-  // practice) >= 2^63 ns tail.
-  sink.latency_buckets[std::min<int>(std::bit_width(ns), 63)] += 1;
-  sink.latency_max_ns = std::max(sink.latency_max_ns, ns);
 }
 
 StreamStats StreamEngine::stats() const {
   StreamStats stats;
   stats.edges_ingested = graph_.total_ingested();
+  stats.edges_pushed = edges_pushed_;
+  stats.late_edges_rejected = late_rejected_;
+  stats.reorder_buffered = reorder_heap_.size();
+  stats.reorder_peak_buffered = reorder_peak_buffered_;
   stats.batches = batches_;
   stats.expired_edges = graph_.total_expired();
   stats.live_edges = graph_.live_edges();
   stats.busy_seconds = busy_seconds_;
 
-  std::uint64_t buckets[64] = {};
-  std::uint64_t searches = 0;
-  for (const auto& sink : sinks_) {
-    stats.cycles_found += sink->cycles;
-    stats.escalated_edges += sink->escalated;
-    stats.work += sink->work;
-    stats.latency_max_ns = std::max(stats.latency_max_ns, sink->latency_max_ns);
-    for (int b = 0; b < 64; ++b) {
-      buckets[b] += sink->latency_buckets[b];
-      searches += sink->latency_buckets[b];
+  std::uint64_t all_buckets[64] = {};
+  std::uint64_t all_searches = 0;
+  stats.per_window.resize(deltas_.size());
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    StreamWindowStats& ws = stats.per_window[lane];
+    ws.window = deltas_[lane];
+    std::uint64_t buckets[64] = {};
+    std::uint64_t searches = 0;
+    for (const auto& sink : sinks_) {
+      const LaneCounters& counters = sink->lanes[lane];
+      ws.cycles_found += counters.cycles;
+      ws.escalated_edges += counters.escalated;
+      ws.work += counters.work;
+      ws.latency_max_ns = std::max(ws.latency_max_ns, counters.latency_max_ns);
+      for (int b = 0; b < 64; ++b) {
+        buckets[b] += counters.latency_buckets[b];
+        all_buckets[b] += counters.latency_buckets[b];
+        searches += counters.latency_buckets[b];
+      }
     }
+    all_searches += searches;
+    ws.latency_p50_ns = histogram_percentile(buckets, searches, 0.50);
+    ws.latency_p99_ns = histogram_percentile(buckets, searches, 0.99);
+
+    stats.cycles_found += ws.cycles_found;
+    stats.escalated_edges += ws.escalated_edges;
+    stats.work += ws.work;
+    stats.latency_max_ns = std::max(stats.latency_max_ns, ws.latency_max_ns);
   }
-  stats.latency_p50_ns = histogram_percentile(buckets, searches, 0.50);
-  stats.latency_p99_ns = histogram_percentile(buckets, searches, 0.99);
+  stats.latency_p50_ns = histogram_percentile(all_buckets, all_searches, 0.50);
+  stats.latency_p99_ns = histogram_percentile(all_buckets, all_searches, 0.99);
+  // Ingest-side pressure counters ride the aggregate WorkCounters so every
+  // consumer of `work` (bench columns, CLI) sees them without new plumbing.
+  stats.work.late_edges_rejected += late_rejected_;
+  stats.work.graph_compactions += graph_.compactions();
   return stats;
 }
 

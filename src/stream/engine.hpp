@@ -2,37 +2,67 @@
 // stream with per-edge incremental cycle detection on the work-stealing
 // Scheduler.
 //
-// The producer pushes timestamp-ordered edges; the engine buffers them into
-// micro-batches. Processing a batch:
+// The producer pushes edges; the engine buffers them into micro-batches.
+// Real event streams are not perfectly timestamp-sorted, so an optional
+// bounded reorder stage sits in front of the batch buffer: with
+// StreamOptions::reorder_slack > 0, arrivals may lag the maximum timestamp
+// seen by up to `slack` time units. Buffered arrivals are released in the
+// canonical (ts, src, dst) order — the order a batch TemporalGraph sorts
+// into — once the slack watermark passes them, so an in-slack shuffle of a
+// sorted stream reproduces the sorted replay byte-for-byte (edge ids
+// included). Arrivals older than the watermark are counted
+// (WorkCounters::late_edges_rejected) and dropped, never silently ingested
+// out of order. With slack == 0 the engine keeps its strict legacy contract:
+// push() throws on any timestamp regression.
+//
+// Processing a batch:
 //
 //  1. advances the sliding window (expire edges older than
-//     batch_min_ts - window — by construction nothing a later closing edge
-//     could still use, so the window never loses a cycle);
+//     batch_min_ts - retention, where retention is the largest configured
+//     window — by construction nothing a later closing edge could still use,
+//     so the window never loses a cycle);
 //  2. ingests the whole batch into the SlidingWindowGraph (edges of one batch
 //     are mutually invisible to each other's searches anyway: a closing edge
 //     only reads strictly earlier timestamps);
 //  3. fans one task per edge out over the scheduler (slab spawn path); each
-//     task enumerates the cycles its edge closes. Hot edges — those whose
-//     search frontier in the live window reaches
-//     StreamOptions::hot_frontier_threshold — escalate to the fine-grained
-//     variant, which recursively spawns branch tasks so a single burst vertex
-//     cannot serialise the batch.
+//     task enumerates the cycles its edge closes — once per configured
+//     window length. Hot edges — those whose search frontier in the live
+//     window reaches StreamOptions::hot_frontier_threshold — escalate to the
+//     fine-grained variant, which recursively spawns branch tasks so a single
+//     burst vertex cannot serialise the batch.
+//
+// Multi-δ windows: StreamOptions::windows configures several concurrent
+// window lengths ("lanes") served by ONE ingest path. All lanes share the
+// sliding graph (retention = max δ); each lane runs its own per-edge search
+// bounds, keeps its own cycle/work counters and latency histogram, and
+// reports to its own CycleSink — one deployment serves tenants with
+// different horizons for one graph's worth of memory and ingest work.
 //
 // Backpressure is structural: push() drains a full buffer synchronously
 // before accepting the next edge, so the engine never holds more than one
-// batch of unprocessed input and a slow search phase blocks the producer
-// instead of growing a queue.
+// batch of unprocessed input (plus at most the in-slack reorder buffer) and
+// a slow search phase blocks the producer instead of growing a queue.
+//
+// The engine is restartable: save_snapshot() persists the entire mutable
+// state — live window with original edge ids, watermark, reorder buffer,
+// pending batch, and all counters — in a versioned, checksummed binary
+// format (the .pcg discipline; see stream/snapshot.cpp), and
+// restore_snapshot() resumes a freshly constructed engine mid-stream without
+// replaying history. Feed the restored engine the stream suffix starting at
+// edges_pushed() and it behaves exactly like the uninterrupted run.
 //
 // Throughput and latency are tracked in per-worker sinks (counter_sink
 // style): per-edge search wall times land in cache-line-aligned per-worker
-// log2 histograms, merged once by stats() into p50/p99/max. Latency of an
-// escalated edge includes any tasks its worker executed while waiting on the
-// search group, so percentiles describe the engine as operated, not the pure
-// search cost.
+// log2 histograms, merged once by stats() into p50/p99/max, per lane and
+// aggregated. Latency of an escalated edge includes any tasks its worker
+// executed while waiting on the search group, so percentiles describe the
+// engine as operated, not the pure search cost.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cycle_types.hpp"
@@ -47,8 +77,19 @@ namespace parcycle {
 
 struct StreamOptions {
   // Cycle window delta: a cycle's edges all lie within [t0, t0 + window].
-  // Also the retention horizon of the sliding graph. Must be > 0.
+  // Also the retention horizon of the sliding graph. Must be > 0. Ignored
+  // when `windows` is non-empty.
   Timestamp window = 0;
+  // Multi-δ configuration: when non-empty, each entry is a concurrent window
+  // lane sharing the single ingest path and sliding graph (retention = the
+  // maximum entry). Lane order is caller order; per-lane results surface in
+  // StreamStats::per_window and per-lane sinks. All entries must be > 0.
+  std::vector<Timestamp> windows;
+  // Out-of-order arrival slack: accepted arrivals may lag the maximum
+  // timestamp seen so far by up to this many time units (an arrival exactly
+  // at the boundary is accepted). Older arrivals are counted and rejected.
+  // 0 = strict non-decreasing input; push() throws on a regression.
+  Timestamp reorder_slack = 0;
   // Edges per micro-batch (and the backpressure bound on buffered input).
   std::size_t batch_size = 256;
   // Forwarded to the per-edge searches.
@@ -63,7 +104,8 @@ struct StreamOptions {
   std::size_t prune_frontier_threshold = 32;
   // Escalate an edge to the fine-grained search when its head has at least
   // this many live out-edges inside the search window. 0 escalates every
-  // edge; SIZE_MAX never escalates.
+  // edge; SIZE_MAX never escalates. Evaluated per lane (the frontier is a
+  // function of the lane's window).
   std::size_t hot_frontier_threshold = 64;
   // Spawn policy of escalated searches.
   SpawnPolicy spawn_policy = SpawnPolicy::kAdaptive;
@@ -72,9 +114,35 @@ struct StreamOptions {
   VertexId num_vertices_hint = 0;
 };
 
-// Aggregate engine statistics; see StreamEngine::stats().
+// Per-window-lane statistics; see StreamStats::per_window.
+struct StreamWindowStats {
+  Timestamp window = 0;
+  std::uint64_t cycles_found = 0;
+  std::uint64_t escalated_edges = 0;
+  WorkCounters work;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_max_ns = 0;
+};
+
+// Aggregate engine statistics; see StreamEngine::stats(). The scalar fields
+// aggregate across lanes (for a single-window engine they coincide with
+// per_window[0]); per_window carries the per-δ breakdown.
 struct StreamStats {
+  // Accepted push() calls that reached the sliding graph. Counts each edge
+  // once regardless of how many window lanes searched it.
   std::uint64_t edges_ingested = 0;
+  // Every push() call, including late-rejected and still-buffered arrivals.
+  // A restored engine continues this count, so it doubles as the stream
+  // cursor: feed a restored engine the suffix starting here.
+  std::uint64_t edges_pushed = 0;
+  // Arrivals dropped by the reorder stage (older than the slack watermark).
+  std::uint64_t late_edges_rejected = 0;
+  // Reorder-stage pressure: arrivals currently buffered, and the high-water
+  // mark over the run. Peak near the slack horizon means the producer's
+  // disorder is close to the configured bound.
+  std::uint64_t reorder_buffered = 0;
+  std::uint64_t reorder_peak_buffered = 0;
   std::uint64_t cycles_found = 0;
   std::uint64_t batches = 0;
   std::uint64_t escalated_edges = 0;
@@ -82,52 +150,89 @@ struct StreamStats {
   std::uint64_t live_edges = 0;
   // Wall time spent inside batch processing (expiry + ingest + searches).
   double busy_seconds = 0.0;
+  // Aggregate across lanes; also carries the ingest-pressure counters
+  // (late_edges_rejected, graph_compactions) for the ops dashboards.
   WorkCounters work;
   // Per-edge search latency over the whole run, from merged per-worker log2
   // histograms: upper bound of the bucket containing the percentile.
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
   std::uint64_t latency_max_ns = 0;
+  // One entry per configured window lane, in StreamOptions order.
+  std::vector<StreamWindowStats> per_window;
 };
 
 class StreamEngine {
  public:
   // Searches run on `sched` (the caller's pool; the engine does not own it).
-  // push()/flush()/stats() must be called from the thread that owns the
-  // scheduler (worker 0). `sink` (nullable) receives every closed cycle and
-  // must be thread-safe.
+  // push()/flush()/stats()/snapshot calls must be made from the thread that
+  // owns the scheduler (worker 0). `sink` (nullable) receives the cycles of
+  // the FIRST window lane and must be thread-safe.
   StreamEngine(const StreamOptions& options, Scheduler& sched,
                CycleSink* sink = nullptr);
+
+  // Multi-sink form: sinks[i] (nullable entries allowed) receives the cycles
+  // of window lane i. Shorter vectors leave the remaining lanes sink-less.
+  StreamEngine(const StreamOptions& options, Scheduler& sched,
+               std::vector<CycleSink*> lane_sinks);
 
   StreamEngine(const StreamEngine&) = delete;
   StreamEngine& operator=(const StreamEngine&) = delete;
 
-  // Feeds one edge. Timestamps must be non-decreasing (throws
-  // std::invalid_argument otherwise). Triggers synchronous batch processing
-  // when the buffer reaches batch_size.
+  // Feeds one edge. With reorder_slack == 0 timestamps must be
+  // non-decreasing (throws std::invalid_argument otherwise); with slack > 0
+  // in-slack disorder is buffered and reordered, and watermark-violating
+  // late arrivals are counted and dropped. Triggers synchronous batch
+  // processing whenever enough edges are releasable.
   void push(VertexId src, VertexId dst, Timestamp ts);
 
-  // Processes any buffered edges; call at end of stream (or whenever results
-  // must be up to date with everything pushed so far).
+  // Processes all buffered edges, including the reorder stage's (released in
+  // canonical order); call at end of stream or whenever results must be up
+  // to date with everything pushed so far. Draining the reorder buffer
+  // hardens the late-edge watermark to the maximum timestamp seen: an
+  // in-slack straggler older than a flush point counts as late afterwards.
   void flush();
 
   // Live window graph; mutated by push()/flush(), stable between calls.
   const SlidingWindowGraph& graph() const noexcept { return graph_; }
 
-  // Cycles closed so far (cheap; only counts fully processed batches).
+  // Window lengths served, in StreamOptions order.
+  const std::vector<Timestamp>& window_lanes() const noexcept {
+    return deltas_;
+  }
+
+  // Cycles closed so far, summed across lanes (cheap; only counts fully
+  // processed batches).
   std::uint64_t cycles_found() const noexcept { return cycles_found_; }
+
+  // Total push() calls so far (the stream cursor; see StreamStats).
+  std::uint64_t edges_pushed() const noexcept { return edges_pushed_; }
 
   // Merged statistics snapshot. Call between push()/flush() calls.
   StreamStats stats() const;
 
+  // -- Snapshot / restore ---------------------------------------------------
+  //
+  // save_snapshot persists the complete mutable state (graph, reorder
+  // buffer, pending batch, counters) without flushing; restore_snapshot
+  // loads it into a FRESHLY CONSTRUCTED engine whose StreamOptions carry the
+  // same window lanes (validated; other tuning knobs are free to differ).
+  // Corrupt, truncated or mismatching snapshots throw std::runtime_error and
+  // leave the engine unusable for further pushes. See stream/snapshot.cpp
+  // for the on-disk format.
+  void save_snapshot(std::ostream& out) const;
+  void save_snapshot_file(const std::string& path) const;
+  void restore_snapshot(std::istream& in);
+  void restore_snapshot_file(const std::string& path);
+
  private:
   friend struct StreamEngineBatchAccess;
 
-  // Per-worker mutable state: counters and the latency histogram. The search
-  // scratches live in a pool instead — a worker blocked in a search's
-  // TaskGroup::wait can execute another edge task, so worker-keyed scratch
-  // would be re-entered.
-  struct alignas(64) WorkerSink {
+  // Per-lane mutable state of one worker: counters and the latency
+  // histogram. The search scratches live in a pool instead — a worker
+  // blocked in a search's TaskGroup::wait can execute another edge task, so
+  // worker-keyed scratch would be re-entered.
+  struct LaneCounters {
     WorkCounters work;
     std::uint64_t cycles = 0;
     std::uint64_t escalated = 0;
@@ -136,17 +241,32 @@ class StreamEngine {
     std::uint64_t latency_max_ns = 0;
   };
 
+  struct alignas(64) WorkerSink {
+    std::vector<LaneCounters> lanes;
+  };
+
+  void enqueue(const TemporalEdge& edge);
+  void release_ready();
   void process_batch();
   void search_edge(const TemporalEdge& edge);
 
   StreamOptions options_;
   Scheduler& sched_;
-  CycleSink* sink_;
+  std::vector<CycleSink*> lane_sinks_;
+  std::vector<Timestamp> deltas_;  // windows, StreamOptions order
+  Timestamp retention_ = 0;        // max delta: sliding-graph horizon
   SlidingWindowGraph graph_;
   ScratchPool<StreamSearchScratch> scratch_pool_;
   std::vector<std::unique_ptr<WorkerSink>> sinks_;
   std::vector<TemporalEdge> pending_;
-  Timestamp last_pushed_ts_;
+  // Reorder stage (reorder_slack > 0): min-heap on (ts, src, dst).
+  std::vector<TemporalEdge> reorder_heap_;
+  Timestamp reorder_max_seen_;  // max ts ever accepted
+  Timestamp reorder_floor_;     // arrivals with ts < floor are late
+  std::uint64_t reorder_peak_buffered_ = 0;
+  std::uint64_t late_rejected_ = 0;
+  Timestamp last_pushed_ts_;  // last edge handed to the batch buffer
+  std::uint64_t edges_pushed_ = 0;
   std::uint64_t cycles_found_ = 0;
   std::uint64_t batches_ = 0;
   double busy_seconds_ = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace parcycle {
 
@@ -12,13 +13,10 @@ namespace {
 // enough that the memmove is amortised over many expiries).
 constexpr std::size_t kMinCompactPrefix = 32;
 
-template <typename Vec>
-void maybe_compact(Vec& vec, std::uint32_t& head) {
+template <typename Vec, typename Head>
+bool should_compact(const Vec& vec, Head head) {
   const std::size_t dead = head;
-  if (dead >= kMinCompactPrefix && dead * 2 >= vec.size()) {
-    vec.erase(vec.begin(), vec.begin() + static_cast<std::ptrdiff_t>(dead));
-    head = 0;
-  }
+  return dead >= kMinCompactPrefix && dead * 2 >= vec.size();
 }
 
 }  // namespace
@@ -71,12 +69,28 @@ void SlidingWindowGraph::expire_before(Timestamp cutoff) {
     VertexAdj& dst_adj = adj_[e.dst];
     src_adj.out_head += 1;
     dst_adj.in_head += 1;
-    maybe_compact(src_adj.out, src_adj.out_head);
-    maybe_compact(dst_adj.in, dst_adj.in_head);
+    if (should_compact(src_adj.out, src_adj.out_head)) {
+      compactions_ += 1;
+      compacted_slots_ += src_adj.out_head;
+      src_adj.out.erase(src_adj.out.begin(),
+                        src_adj.out.begin() +
+                            static_cast<std::ptrdiff_t>(src_adj.out_head));
+      src_adj.out_head = 0;
+    }
+    if (should_compact(dst_adj.in, dst_adj.in_head)) {
+      compactions_ += 1;
+      compacted_slots_ += dst_adj.in_head;
+      dst_adj.in.erase(dst_adj.in.begin(),
+                       dst_adj.in.begin() +
+                           static_cast<std::ptrdiff_t>(dst_adj.in_head));
+      dst_adj.in_head = 0;
+    }
     log_head_ += 1;
     total_expired_ += 1;
   }
-  if (log_head_ >= kMinCompactPrefix && log_head_ * 2 >= log_.size()) {
+  if (should_compact(log_, log_head_)) {
+    compactions_ += 1;
+    compacted_slots_ += log_head_;
     log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(log_head_));
     log_head_ = 0;
   }
@@ -118,6 +132,59 @@ SlidingWindowGraph::in_edges_in_window(VertexId v, Timestamp lo,
       first, all.end(), hi,
       [](Timestamp t, const InEdge& e) { return t < e.ts; });
   return {first, last};
+}
+
+void SlidingWindowGraph::restore(const RestoreState& state) {
+  // Reset to empty first so a validation failure cannot leave a
+  // half-restored window behind.
+  *this = SlidingWindowGraph(state.num_vertices);
+
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(
+        std::string("SlidingWindowGraph::restore: ") + what);
+  };
+  if (state.total_ingested - state.total_expired != state.live_edges.size()) {
+    fail("ingest/expiry totals disagree with the live edge count");
+  }
+  if (state.next_id != state.total_ingested ||
+      state.next_id == kInvalidEdge) {
+    fail("next edge id disagrees with the ingest total");
+  }
+  // Live edges must be exactly the arrival ranks [total_expired, next_id),
+  // in order, with non-decreasing timestamps at or above the watermark.
+  EdgeId expect_id = static_cast<EdgeId>(state.total_expired);
+  Timestamp prev_ts = std::numeric_limits<Timestamp>::min();
+  for (const TemporalEdge& e : state.live_edges) {
+    if (e.id != expect_id) {
+      fail("live edge ids are not the contiguous arrival-rank suffix");
+    }
+    if (e.ts < prev_ts) {
+      fail("live edge timestamps regress");
+    }
+    if (e.ts < state.watermark) {
+      fail("live edge precedes the watermark");
+    }
+    expect_id += 1;
+    prev_ts = e.ts;
+  }
+  if (!state.live_edges.empty() && state.live_edges.back().ts > state.last_ts) {
+    fail("last-timestamp field precedes the newest live edge");
+  }
+
+  for (const TemporalEdge& e : state.live_edges) {
+    ensure_vertex(std::max(e.src, e.dst));
+    adj_[e.src].out.push_back(OutEdge{e.dst, e.ts, e.id});
+    adj_[e.dst].in.push_back(InEdge{e.src, e.ts, e.id});
+    log_.push_back(e);
+  }
+  watermark_ = state.watermark;
+  last_ts_ = state.last_ts;
+  next_id_ = state.next_id;
+  total_ingested_ = state.total_ingested;
+  total_expired_ = state.total_expired;
+  expiry_epochs_ = state.expiry_epochs;
+  compactions_ = state.compactions;
+  compacted_slots_ = state.compacted_slots;
 }
 
 TemporalGraph SlidingWindowGraph::snapshot() const {

@@ -65,6 +65,14 @@ class SlidingWindowGraph {
   std::uint64_t total_expired() const noexcept { return total_expired_; }
   // Watermark epochs opened (expire_before calls that advanced the cutoff).
   std::uint64_t expiry_epochs() const noexcept { return expiry_epochs_; }
+  // Expiry pressure: dead-prefix erasures performed (per-vertex adjacency
+  // lists + the arrival log) and the total edge slots those erasures
+  // reclaimed. Amortised O(1)/edge by construction; these counters let
+  // operators verify that on a live deployment.
+  std::uint64_t compactions() const noexcept { return compactions_; }
+  std::uint64_t compacted_slots() const noexcept { return compacted_slots_; }
+  // Next edge id ingest() would assign (serialised by snapshots).
+  EdgeId next_edge_id() const noexcept { return next_id_; }
 
   // Live out/in adjacency of v, ascending by (ts, id).
   std::span<const OutEdge> out_edges(VertexId v) const noexcept;
@@ -81,6 +89,34 @@ class SlidingWindowGraph {
   // TemporalGraph constructor). Used by tests to cross-check expiry and by
   // consumers that want to hand the current window to a batch enumerator.
   TemporalGraph snapshot() const;
+
+  // Live edges in arrival order with their original stream ids — the state a
+  // persistent snapshot must carry so a restored graph keeps assigning the
+  // ids the uninterrupted stream would have.
+  std::span<const TemporalEdge> live_log() const noexcept {
+    return {log_.data() + log_head_, log_.data() + log_.size()};
+  }
+
+  // Everything restore() needs to rebuild a graph mid-stream.
+  struct RestoreState {
+    std::vector<TemporalEdge> live_edges;  // arrival order, original ids
+    VertexId num_vertices = 0;
+    Timestamp watermark = 0;
+    Timestamp last_ts = 0;
+    EdgeId next_id = 0;
+    std::uint64_t total_ingested = 0;
+    std::uint64_t total_expired = 0;
+    std::uint64_t expiry_epochs = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t compacted_slots = 0;
+  };
+
+  // Replaces this graph with the restored state. Validates the invariants a
+  // well-formed snapshot must satisfy (non-decreasing timestamps, live ids
+  // forming exactly the range [total_expired, next_id), consistent totals)
+  // and throws std::invalid_argument on any violation, leaving the graph
+  // empty — a corrupt snapshot must never become a half-restored window.
+  void restore(const RestoreState& state);
 
  private:
   struct VertexAdj {
@@ -105,6 +141,8 @@ class SlidingWindowGraph {
   std::uint64_t total_ingested_ = 0;
   std::uint64_t total_expired_ = 0;
   std::uint64_t expiry_epochs_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compacted_slots_ = 0;
 };
 
 }  // namespace parcycle

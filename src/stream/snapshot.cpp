@@ -1,0 +1,392 @@
+// StreamEngine snapshot / restore — the .pcg discipline applied to the
+// engine's mutable state.
+//
+// Layout: a fixed header (magic, version, payload size, FNV-1a-64 checksum)
+// followed by one little-endian payload blob:
+//
+//   [lanes]    u64 count, i64 delta per lane       (validated on restore)
+//   [engine]   push cursor, late/reorder counters, watermarks, batch totals
+//   [counters] per lane: WorkCounters + cycles/escalated + log2 latency
+//              histogram, merged across workers at save time
+//   [graph]    SlidingWindowGraph::RestoreState — live edges with their
+//              original stream ids, watermark, ingest/expiry totals
+//   [pending]  the unprocessed micro-batch (src, dst, ts)
+//   [reorder]  the in-slack reorder buffer (src, dst, ts)
+//
+// The payload is serialised to memory first so the checksum covers every
+// byte; restore reads the whole payload, verifies the checksum, then parses.
+// Any truncation, corruption, or lane mismatch throws std::runtime_error and
+// leaves the engine unusable rather than half-restored.
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stream/engine.hpp"
+
+namespace parcycle {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "stream snapshot IO assumes a little-endian target");
+
+constexpr char kMagic[4] = {'P', 'S', 'E', '1'};
+constexpr std::uint32_t kVersion = 1;
+// Upper bound on a plausible payload: rejects absurd sizes from a corrupt
+// header before we try to allocate them.
+constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 33;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t state) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("stream snapshot: " + what);
+}
+
+// Serialises scalars into a growing byte buffer (the checksummed payload).
+class BufWriter {
+ public:
+  template <typename T>
+  void scalar(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* bytes = reinterpret_cast<const char*>(&value);
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(value));
+  }
+
+  void edge_site(const TemporalEdge& e) {
+    scalar<VertexId>(e.src);
+    scalar<VertexId>(e.dst);
+    scalar<Timestamp>(e.ts);
+  }
+
+  const std::vector<char>& bytes() const noexcept { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(const std::vector<char>& buf) : buf_(buf) {}
+
+  template <typename T>
+  T scalar(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (buf_.size() - pos_ < sizeof(T)) {
+      corrupt(std::string("payload too short for ") + what);
+    }
+    T value{};
+    std::memcpy(&value, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  TemporalEdge edge_site(const char* what) {
+    TemporalEdge e{};
+    e.src = scalar<VertexId>(what);
+    e.dst = scalar<VertexId>(what);
+    e.ts = scalar<Timestamp>(what);
+    e.id = kInvalidEdge;
+    return e;
+  }
+
+  // A count that must plausibly fit in the remaining payload.
+  std::uint64_t count(std::size_t item_bytes, const char* what) {
+    const auto n = scalar<std::uint64_t>(what);
+    if (n > (buf_.size() - pos_) / item_bytes) {
+      corrupt(std::string("implausible count for ") + what);
+    }
+    return n;
+  }
+
+  bool exhausted() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<char>& buf_;
+  std::size_t pos_ = 0;
+};
+
+void write_work_counters(BufWriter& w, const WorkCounters& c) {
+  w.scalar(c.edges_visited);
+  w.scalar(c.vertices_visited);
+  w.scalar(c.cycles_found);
+  w.scalar(c.tasks_spawned);
+  w.scalar(c.state_copies);
+  w.scalar(c.state_reuses);
+  w.scalar(c.unblock_operations);
+  w.scalar(c.late_edges_rejected);
+  w.scalar(c.graph_compactions);
+}
+
+WorkCounters read_work_counters(BufReader& r) {
+  WorkCounters c;
+  c.edges_visited = r.scalar<std::uint64_t>("work counters");
+  c.vertices_visited = r.scalar<std::uint64_t>("work counters");
+  c.cycles_found = r.scalar<std::uint64_t>("work counters");
+  c.tasks_spawned = r.scalar<std::uint64_t>("work counters");
+  c.state_copies = r.scalar<std::uint64_t>("work counters");
+  c.state_reuses = r.scalar<std::uint64_t>("work counters");
+  c.unblock_operations = r.scalar<std::uint64_t>("work counters");
+  c.late_edges_rejected = r.scalar<std::uint64_t>("work counters");
+  c.graph_compactions = r.scalar<std::uint64_t>("work counters");
+  return c;
+}
+
+}  // namespace
+
+void StreamEngine::save_snapshot(std::ostream& out) const {
+  BufWriter w;
+
+  // [lanes]
+  w.scalar<std::uint64_t>(deltas_.size());
+  for (const Timestamp delta : deltas_) {
+    w.scalar(delta);
+  }
+
+  // [engine]
+  w.scalar(edges_pushed_);
+  w.scalar(late_rejected_);
+  w.scalar(reorder_peak_buffered_);
+  w.scalar(last_pushed_ts_);
+  w.scalar(reorder_max_seen_);
+  w.scalar(reorder_floor_);
+  w.scalar(cycles_found_);
+  w.scalar(batches_);
+  w.scalar(busy_seconds_);
+
+  // [counters] merged across workers: the restored engine does not need to
+  // know how the work was spread, only the totals each lane accumulated.
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    LaneCounters merged;
+    for (const auto& sink : sinks_) {
+      const LaneCounters& c = sink->lanes[lane];
+      merged.work += c.work;
+      merged.cycles += c.cycles;
+      merged.escalated += c.escalated;
+      for (int b = 0; b < 64; ++b) {
+        merged.latency_buckets[b] += c.latency_buckets[b];
+      }
+      merged.latency_max_ns = std::max(merged.latency_max_ns, c.latency_max_ns);
+    }
+    write_work_counters(w, merged.work);
+    w.scalar(merged.cycles);
+    w.scalar(merged.escalated);
+    for (int b = 0; b < 64; ++b) {
+      w.scalar(merged.latency_buckets[b]);
+    }
+    w.scalar(merged.latency_max_ns);
+  }
+
+  // [graph]
+  w.scalar<std::uint64_t>(graph_.num_vertices());
+  w.scalar(graph_.watermark());
+  w.scalar(graph_.last_timestamp());
+  w.scalar(graph_.next_edge_id());
+  w.scalar(graph_.total_ingested());
+  w.scalar(graph_.total_expired());
+  w.scalar(graph_.expiry_epochs());
+  w.scalar(graph_.compactions());
+  w.scalar(graph_.compacted_slots());
+  const auto live = graph_.live_log();
+  w.scalar<std::uint64_t>(live.size());
+  for (const TemporalEdge& e : live) {
+    w.edge_site(e);
+    w.scalar(e.id);
+  }
+
+  // [pending] and [reorder]: not yet ingested, so no ids.
+  w.scalar<std::uint64_t>(pending_.size());
+  for (const TemporalEdge& e : pending_) {
+    w.edge_site(e);
+  }
+  w.scalar<std::uint64_t>(reorder_heap_.size());
+  for (const TemporalEdge& e : reorder_heap_) {
+    w.edge_site(e);
+  }
+
+  const std::vector<char>& payload = w.bytes();
+  const std::uint64_t checksum = fnv1a(payload.data(), payload.size(),
+                                       kFnvOffset);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t payload_size = payload.size();
+  out.write(reinterpret_cast<const char*>(&payload_size),
+            sizeof(payload_size));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) {
+    corrupt("write failed");
+  }
+}
+
+void StreamEngine::restore_snapshot(std::istream& in) {
+  if (edges_pushed_ != 0 || graph_.total_ingested() != 0 ||
+      !pending_.empty() || !reorder_heap_.empty()) {
+    throw std::runtime_error(
+        "stream snapshot: restore requires a freshly constructed engine");
+  }
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic (not a stream snapshot)");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(version) ||
+      version != kVersion) {
+    corrupt("unsupported snapshot version");
+  }
+  std::uint64_t payload_size = 0;
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(payload_size) ||
+      payload_size > kMaxPayloadBytes) {
+    corrupt("implausible payload size");
+  }
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(checksum)) {
+    corrupt("truncated header");
+  }
+  std::vector<char> payload(payload_size);
+  if (payload_size > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    if (static_cast<std::size_t>(in.gcount()) != payload_size) {
+      corrupt("truncated payload");
+    }
+  }
+  if (fnv1a(payload.data(), payload.size(), kFnvOffset) != checksum) {
+    corrupt("checksum mismatch");
+  }
+
+  BufReader r(payload);
+
+  // [lanes] must match this engine's configuration: a snapshot's counters
+  // and retention horizon are meaningless under different window lanes.
+  const auto lane_count = r.count(sizeof(Timestamp), "window lanes");
+  if (lane_count != deltas_.size()) {
+    corrupt("window lane count differs from the engine's configuration");
+  }
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    if (r.scalar<Timestamp>("window lane") != deltas_[i]) {
+      corrupt("window lanes differ from the engine's configuration");
+    }
+  }
+
+  // [engine]
+  edges_pushed_ = r.scalar<std::uint64_t>("engine state");
+  late_rejected_ = r.scalar<std::uint64_t>("engine state");
+  reorder_peak_buffered_ = r.scalar<std::uint64_t>("engine state");
+  last_pushed_ts_ = r.scalar<Timestamp>("engine state");
+  reorder_max_seen_ = r.scalar<Timestamp>("engine state");
+  reorder_floor_ = r.scalar<Timestamp>("engine state");
+  cycles_found_ = r.scalar<std::uint64_t>("engine state");
+  batches_ = r.scalar<std::uint64_t>("engine state");
+  busy_seconds_ = r.scalar<double>("engine state");
+
+  // [counters] land merged on worker 0; stats() only ever sums across
+  // workers, so the split is unobservable.
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    LaneCounters& c = sinks_[0]->lanes[lane];
+    c.work = read_work_counters(r);
+    c.cycles = r.scalar<std::uint64_t>("lane counters");
+    c.escalated = r.scalar<std::uint64_t>("lane counters");
+    for (int b = 0; b < 64; ++b) {
+      c.latency_buckets[b] = r.scalar<std::uint64_t>("lane counters");
+    }
+    c.latency_max_ns = r.scalar<std::uint64_t>("lane counters");
+  }
+
+  // [graph]
+  SlidingWindowGraph::RestoreState state;
+  const auto num_vertices = r.scalar<std::uint64_t>("graph state");
+  if (num_vertices > std::numeric_limits<VertexId>::max()) {
+    corrupt("implausible vertex count");
+  }
+  state.num_vertices = static_cast<VertexId>(num_vertices);
+  state.watermark = r.scalar<Timestamp>("graph state");
+  state.last_ts = r.scalar<Timestamp>("graph state");
+  state.next_id = r.scalar<EdgeId>("graph state");
+  state.total_ingested = r.scalar<std::uint64_t>("graph state");
+  state.total_expired = r.scalar<std::uint64_t>("graph state");
+  state.expiry_epochs = r.scalar<std::uint64_t>("graph state");
+  state.compactions = r.scalar<std::uint64_t>("graph state");
+  state.compacted_slots = r.scalar<std::uint64_t>("graph state");
+  const auto live_count =
+      r.count(3 * sizeof(VertexId) + sizeof(Timestamp), "live edges");
+  state.live_edges.reserve(live_count);
+  for (std::uint64_t i = 0; i < live_count; ++i) {
+    TemporalEdge e = r.edge_site("live edge");
+    e.id = r.scalar<EdgeId>("live edge id");
+    state.live_edges.push_back(e);
+  }
+  try {
+    graph_.restore(state);
+  } catch (const std::invalid_argument& err) {
+    // Checksum-valid but semantically inconsistent: same contract as any
+    // other corruption.
+    corrupt(err.what());
+  }
+
+  // [pending] and [reorder]
+  const std::size_t site_bytes = 2 * sizeof(VertexId) + sizeof(Timestamp);
+  const auto pending_count = r.count(site_bytes, "pending batch");
+  pending_.reserve(std::max<std::size_t>(pending_count, options_.batch_size));
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    pending_.push_back(r.edge_site("pending edge"));
+  }
+  const auto reorder_count = r.count(site_bytes, "reorder buffer");
+  for (std::uint64_t i = 0; i < reorder_count; ++i) {
+    reorder_heap_.push_back(r.edge_site("reorder edge"));
+  }
+  std::make_heap(reorder_heap_.begin(), reorder_heap_.end(),
+                 [](const TemporalEdge& a, const TemporalEdge& b) {
+                   if (a.ts != b.ts) return b.ts < a.ts;
+                   if (a.src != b.src) return b.src < a.src;
+                   return b.dst < a.dst;
+                 });
+  if (!r.exhausted()) {
+    corrupt("trailing bytes after payload");
+  }
+}
+
+void StreamEngine::save_snapshot_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    corrupt("cannot open '" + path + "' for writing");
+  }
+  save_snapshot(out);
+  out.flush();
+  if (!out) {
+    corrupt("write to '" + path + "' failed");
+  }
+}
+
+void StreamEngine::restore_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    corrupt("cannot open '" + path + "' for reading");
+  }
+  restore_snapshot(in);
+}
+
+}  // namespace parcycle

@@ -43,6 +43,12 @@ struct WorkCounters {
   std::uint64_t state_copies = 0;     // copy-on-steal full copies
   std::uint64_t state_reuses = 0;     // same-thread in-place reuses
   std::uint64_t unblock_operations = 0;
+  // Streaming ingest pressure (zero for the batch algorithms): arrivals the
+  // reorder stage dropped because they lagged the slack watermark, and
+  // sliding-graph compaction events (dead-prefix erasures in the per-vertex
+  // adjacency lists and the arrival log).
+  std::uint64_t late_edges_rejected = 0;
+  std::uint64_t graph_compactions = 0;
 
   WorkCounters& operator+=(const WorkCounters& other) {
     edges_visited += other.edges_visited;
@@ -52,6 +58,8 @@ struct WorkCounters {
     state_copies += other.state_copies;
     state_reuses += other.state_reuses;
     unblock_operations += other.unblock_operations;
+    late_edges_rejected += other.late_edges_rejected;
+    graph_compactions += other.graph_compactions;
     return *this;
   }
 };

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "io/edge_list.hpp"
 #include "stream/engine.hpp"
 #include "stream/sliding_window_graph.hpp"
+#include "support/prng.hpp"
 #include "support/scheduler.hpp"
 #include "temporal/temporal_johnson.hpp"
 
@@ -201,6 +203,231 @@ TEST(StreamEquivalence, StatsAreCoherent) {
   EXPECT_GT(stats.batches, 0u);
   EXPECT_GE(stats.latency_p99_ns, stats.latency_p50_ns);
   EXPECT_GE(stats.latency_max_ns, stats.latency_p50_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order ingest: the bounded reorder stage
+// ---------------------------------------------------------------------------
+
+// Replays an explicit arrival sequence (not necessarily sorted) with the
+// given reorder slack.
+std::vector<CycleRecord> replay_sequence(const std::vector<TemporalEdge>& feed,
+                                         Timestamp window, Timestamp slack,
+                                         const ReplayConfig& config,
+                                         StreamStats* stats_out = nullptr) {
+  CollectingSink sink;
+  Scheduler::with_pool(config.threads, [&](Scheduler& sched) {
+    StreamOptions options;
+    options.window = window;
+    options.reorder_slack = slack;
+    options.batch_size = config.batch_size;
+    options.hot_frontier_threshold = config.hot_threshold;
+    options.spawn_policy = config.policy;
+    options.use_reach_prune = config.prune;
+    options.prune_frontier_threshold = config.prune_threshold;
+    StreamEngine engine(options, sched, &sink);
+    for (const auto& e : feed) {
+      engine.push(e.src, e.dst, e.ts);
+    }
+    engine.flush();
+    if (stats_out != nullptr) {
+      *stats_out = engine.stats();
+    }
+  });
+  return sink.sorted_cycles();
+}
+
+// Deterministic within-slack disorder: sorting by ts + uniform[0, slack]
+// guarantees every arrival is at most `slack` behind the running maximum, so
+// the reorder stage must accept and re-canonicalise all of it.
+std::vector<TemporalEdge> shuffled_within_slack(
+    std::span<const TemporalEdge> edges, Timestamp slack, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::pair<std::pair<Timestamp, std::uint64_t>, TemporalEdge>>
+      keyed;
+  keyed.reserve(edges.size());
+  for (const TemporalEdge& e : edges) {
+    const auto jitter = static_cast<Timestamp>(
+        rng.next() % static_cast<std::uint64_t>(slack + 1));
+    keyed.push_back({{e.ts + jitter, rng.next()}, e});
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TemporalEdge> out;
+  out.reserve(keyed.size());
+  for (const auto& [key, e] : keyed) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(StreamReorder, ShuffledWithinSlackMatchesSortedAndBatch) {
+  for (const auto& entry : generated_roster()) {
+    SCOPED_TRACE(entry.name);
+    const auto batch = batch_cycles(entry.graph, entry.window);
+    ASSERT_FALSE(batch.empty());
+    const Timestamp slack = std::max<Timestamp>(1, entry.window / 4);
+    for (const std::uint64_t seed : {1ULL, 42ULL}) {
+      const auto feed =
+          shuffled_within_slack(entry.graph.edges_by_time(), slack, seed);
+      StreamStats serial_stats;
+      const auto serial = replay_sequence(feed, entry.window, slack,
+                                          ReplayConfig{}, &serial_stats);
+      // Byte-identical to the sorted replay and the batch enumerator: same
+      // cycles, same edge ids, nothing late.
+      EXPECT_EQ(serial, batch);
+      EXPECT_EQ(serial_stats.late_edges_rejected, 0u);
+      EXPECT_EQ(serial_stats.edges_ingested, entry.graph.num_edges());
+      ReplayConfig fine{4, 32, 0, SpawnPolicy::kAlways, true};
+      EXPECT_EQ(replay_sequence(feed, entry.window, slack, fine), batch);
+    }
+  }
+}
+
+TEST(StreamReorder, DuplicateTimestampsAreCanonicalised) {
+  // All edges share one timestamp; arrival order is adversarial (reversed
+  // canonical). The reorder stage must still release them in (ts, src, dst)
+  // order, reproducing the batch enumeration exactly.
+  const TemporalGraph source =
+      with_uniform_timestamps(complete_digraph(5), 1, /*seed=*/13);
+  const auto sorted = source.edges_by_time();
+  std::vector<TemporalEdge> reversed(sorted.rbegin(), sorted.rend());
+  const Timestamp window = 10;
+  const auto batch = batch_cycles(source, window);
+  EXPECT_EQ(replay_sequence(reversed, window, /*slack=*/5, ReplayConfig{}),
+            batch);
+}
+
+TEST(StreamReorder, SlackBoundaryAcceptsAndLateRejectsAreCounted) {
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamOptions options;
+    options.window = 1000;
+    options.reorder_slack = 10;
+    options.batch_size = 4;
+    StreamEngine engine(options, sched, nullptr);
+    engine.push(0, 1, 100);  // max_seen = 100, floor = 90
+    engine.push(1, 2, 90);   // exactly at the boundary: accepted
+    engine.push(2, 3, 89);   // one unit below: late, counted, dropped
+    engine.push(3, 4, 95);   // in-slack disorder: accepted
+    engine.flush();
+    const StreamStats stats = engine.stats();
+    EXPECT_EQ(stats.edges_pushed, 4u);
+    EXPECT_EQ(stats.edges_ingested, 3u);
+    EXPECT_EQ(stats.late_edges_rejected, 1u);
+    // The pressure counters ride the aggregate WorkCounters too.
+    EXPECT_EQ(stats.work.late_edges_rejected, 1u);
+    EXPECT_EQ(stats.reorder_buffered, 0u);  // flush drained everything
+    EXPECT_GE(stats.reorder_peak_buffered, 2u);
+
+    // Flush hardened the watermark to max_seen: an in-slack straggler older
+    // than the flush point is now late.
+    engine.push(4, 5, 93);
+    engine.flush();
+    EXPECT_EQ(engine.stats().late_edges_rejected, 2u);
+  });
+}
+
+TEST(StreamReorder, ZeroSlackKeepsStrictContract) {
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamOptions options;
+    options.window = 100;
+    StreamEngine engine(options, sched, nullptr);
+    engine.push(0, 1, 50);
+    EXPECT_THROW(engine.push(1, 2, 49), std::invalid_argument);
+  });
+}
+
+TEST(StreamReorder, CompactionPressureSurfacesInWorkCounters) {
+  // A long stream with a short window forces expiry compactions; the count
+  // must surface through the engine's aggregate WorkCounters.
+  const TemporalGraph source = uniform_temporal(10, 3000, 9000, /*seed=*/21);
+  StreamStats stats;
+  replay_cycles(source, /*window=*/60, ReplayConfig{}, 0, &stats);
+  EXPECT_GT(stats.work.graph_compactions, 0u);
+  EXPECT_GT(stats.expired_edges, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-δ window lanes: one ingest, several concurrent horizons
+// ---------------------------------------------------------------------------
+
+TEST(StreamMultiWindow, LanesMatchIndependentSingleWindowEngines) {
+  for (const auto& entry : generated_roster()) {
+    SCOPED_TRACE(entry.name);
+    const std::vector<Timestamp> lanes = {
+        std::max<Timestamp>(1, entry.window / 4),
+        std::max<Timestamp>(1, entry.window / 2), entry.window};
+
+    // Reference: one engine per window, plus the batch enumerator.
+    std::vector<std::vector<CycleRecord>> independent;
+    for (const Timestamp w : lanes) {
+      CollectingSink sink;
+      Scheduler::with_pool(2, [&](Scheduler& sched) {
+        StreamOptions options;
+        options.window = w;
+        options.batch_size = 32;
+        StreamEngine engine(options, sched, &sink);
+        for (const auto& e : entry.graph.edges_by_time()) {
+          engine.push(e.src, e.dst, e.ts);
+        }
+        engine.flush();
+      });
+      independent.push_back(sink.sorted_cycles());
+    }
+
+    // One multi-δ engine: per-lane sinks, one shared ingest.
+    std::vector<CollectingSink> lane_sinks(lanes.size());
+    StreamStats stats;
+    Scheduler::with_pool(2, [&](Scheduler& sched) {
+      StreamOptions options;
+      options.windows = lanes;
+      options.batch_size = 32;
+      std::vector<CycleSink*> sinks;
+      for (auto& s : lane_sinks) {
+        sinks.push_back(&s);
+      }
+      StreamEngine engine(options, sched, sinks);
+      EXPECT_EQ(engine.window_lanes(), lanes);
+      for (const auto& e : entry.graph.edges_by_time()) {
+        engine.push(e.src, e.dst, e.ts);
+      }
+      engine.flush();
+      stats = engine.stats();
+    });
+
+    ASSERT_EQ(stats.per_window.size(), lanes.size());
+    std::uint64_t lane_total = 0;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      SCOPED_TRACE(lanes[i]);
+      EXPECT_EQ(lane_sinks[i].sorted_cycles(), independent[i]);
+      EXPECT_EQ(lane_sinks[i].sorted_cycles(),
+                batch_cycles(entry.graph, lanes[i]));
+      EXPECT_EQ(stats.per_window[i].window, lanes[i]);
+      EXPECT_EQ(stats.per_window[i].cycles_found, independent[i].size());
+      lane_total += stats.per_window[i].cycles_found;
+    }
+    // Scalar aggregates sum the lanes; the shared graph ingested each edge
+    // exactly once regardless of lane count.
+    EXPECT_EQ(stats.cycles_found, lane_total);
+    EXPECT_EQ(stats.edges_ingested, entry.graph.num_edges());
+  }
+}
+
+TEST(StreamMultiWindow, SingleSinkCtorFeedsFirstLane) {
+  const auto roster = generated_roster();
+  const auto& entry = roster.front();
+  CollectingSink sink;
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamOptions options;
+    options.windows = {entry.window, entry.window * 2};
+    options.batch_size = 16;
+    StreamEngine engine(options, sched, &sink);
+    for (const auto& e : entry.graph.edges_by_time()) {
+      engine.push(e.src, e.dst, e.ts);
+    }
+    engine.flush();
+  });
+  EXPECT_EQ(sink.sorted_cycles(), batch_cycles(entry.graph, entry.window));
 }
 
 // ---------------------------------------------------------------------------

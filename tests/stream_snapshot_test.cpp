@@ -1,0 +1,319 @@
+// StreamEngine snapshot/restore: a monitor killed mid-stream and restored
+// from its snapshot must be indistinguishable from one that never stopped —
+// same cycles (edge ids included), same deterministic counters — and a
+// corrupt, truncated or mismatching snapshot must be rejected loudly, never
+// half-restored.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "stream/engine.hpp"
+#include "support/scheduler.hpp"
+#include "temporal/temporal_johnson.hpp"
+
+namespace parcycle {
+namespace {
+
+TemporalGraph test_graph() {
+  ScaleFreeTemporalParams params;
+  params.num_vertices = 50;
+  params.num_edges = 400;
+  params.time_span = 1500;
+  params.attachment = 0.8;
+  params.burstiness = 0.5;
+  params.allow_self_loops = true;
+  params.seed = 23;
+  return scale_free_temporal(params);
+}
+
+constexpr Timestamp kWindow = 150;
+
+StreamOptions engine_options() {
+  StreamOptions options;
+  options.window = kWindow;
+  options.batch_size = 32;
+  options.hot_frontier_threshold = 8;  // exercise escalated searches too
+  return options;
+}
+
+// Runs the full stream uninterrupted; the reference every restored run must
+// reproduce.
+void run_reference(const TemporalGraph& graph, const StreamOptions& options,
+                   CollectingSink& sink, StreamStats& stats) {
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    for (const auto& e : graph.edges_by_time()) {
+      engine.push(e.src, e.dst, e.ts);
+    }
+    engine.flush();
+    stats = engine.stats();
+  });
+}
+
+// Feeds `break_at` edges, snapshots, restores into a fresh engine and feeds
+// the rest. Returns the restored run's cycles and stats.
+void run_interrupted(const TemporalGraph& graph, const StreamOptions& options,
+                     std::size_t break_at, CollectingSink& sink,
+                     StreamStats& stats, std::string* snapshot_bytes = nullptr) {
+  const auto edges = graph.edges_by_time();
+  ASSERT_LT(break_at, edges.size());
+  std::stringstream snapshot;
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    // The first incarnation also reports to `sink`: alerts raised before the
+    // kill were already delivered, the restored engine must not re-raise
+    // them.
+    StreamEngine engine(options, sched, &sink);
+    for (std::size_t i = 0; i < break_at; ++i) {
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    engine.save_snapshot(snapshot);
+  });
+  if (snapshot_bytes != nullptr) {
+    *snapshot_bytes = snapshot.str();
+  }
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    engine.restore_snapshot(snapshot);
+    const std::uint64_t resume_at = engine.edges_pushed();
+    EXPECT_EQ(resume_at, break_at);
+    for (std::size_t i = resume_at; i < edges.size(); ++i) {
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    engine.flush();
+    stats = engine.stats();
+  });
+}
+
+void expect_stats_equal(const StreamStats& a, const StreamStats& b) {
+  EXPECT_EQ(a.cycles_found, b.cycles_found);
+  EXPECT_EQ(a.edges_pushed, b.edges_pushed);
+  EXPECT_EQ(a.edges_ingested, b.edges_ingested);
+  EXPECT_EQ(a.expired_edges, b.expired_edges);
+  EXPECT_EQ(a.live_edges, b.live_edges);
+  EXPECT_EQ(a.escalated_edges, b.escalated_edges);
+  EXPECT_EQ(a.late_edges_rejected, b.late_edges_rejected);
+  EXPECT_EQ(a.work.edges_visited, b.work.edges_visited);
+  ASSERT_EQ(a.per_window.size(), b.per_window.size());
+  for (std::size_t i = 0; i < a.per_window.size(); ++i) {
+    EXPECT_EQ(a.per_window[i].window, b.per_window[i].window);
+    EXPECT_EQ(a.per_window[i].cycles_found, b.per_window[i].cycles_found);
+    EXPECT_EQ(a.per_window[i].escalated_edges, b.per_window[i].escalated_edges);
+    EXPECT_EQ(a.per_window[i].work.edges_visited,
+              b.per_window[i].work.edges_visited);
+  }
+}
+
+TEST(StreamSnapshot, KillAndRestoreMatchesUninterruptedRun) {
+  const TemporalGraph graph = test_graph();
+  const StreamOptions options = engine_options();
+  CollectingSink reference_sink;
+  StreamStats reference_stats;
+  run_reference(graph, options, reference_sink, reference_stats);
+  ASSERT_GT(reference_stats.cycles_found, 0u);
+
+  // Break mid-batch (not a multiple of batch_size: the pending buffer is
+  // non-empty in the snapshot) and at a batch boundary.
+  for (const std::size_t break_at : {37u, 64u, 201u, 399u}) {
+    SCOPED_TRACE(break_at);
+    CollectingSink sink;
+    StreamStats stats;
+    run_interrupted(graph, options, break_at, sink, stats);
+    EXPECT_EQ(sink.sorted_cycles(), reference_sink.sorted_cycles());
+    expect_stats_equal(stats, reference_stats);
+  }
+}
+
+TEST(StreamSnapshot, RoundTripWithReorderBufferInFlight) {
+  const TemporalGraph graph = test_graph();
+  StreamOptions options = engine_options();
+  options.reorder_slack = 40;
+  // Reverse consecutive pairs: every arrival is at most one edge's timestamp
+  // gap out of order, well within the slack, so the reorder buffer is busy
+  // at every point of the stream — including the snapshot point.
+  const auto sorted = graph.edges_by_time();
+  std::vector<TemporalEdge> feed(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i + 1 < feed.size(); i += 2) {
+    if (feed[i + 1].ts - feed[i].ts <= options.reorder_slack) {
+      std::swap(feed[i], feed[i + 1]);
+    }
+  }
+
+  CollectingSink reference_sink;
+  StreamStats reference_stats;
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &reference_sink);
+    for (const auto& e : feed) {
+      engine.push(e.src, e.dst, e.ts);
+    }
+    engine.flush();
+    reference_stats = engine.stats();
+  });
+  ASSERT_EQ(reference_stats.late_edges_rejected, 0u);
+
+  const std::size_t break_at = 151;
+  std::stringstream snapshot;
+  CollectingSink sink;
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    for (std::size_t i = 0; i < break_at; ++i) {
+      engine.push(feed[i].src, feed[i].dst, feed[i].ts);
+    }
+    EXPECT_GT(engine.stats().reorder_buffered, 0u);
+    engine.save_snapshot(snapshot);
+  });
+  StreamStats stats;
+  Scheduler::with_pool(2, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    engine.restore_snapshot(snapshot);
+    for (std::size_t i = engine.edges_pushed(); i < feed.size(); ++i) {
+      engine.push(feed[i].src, feed[i].dst, feed[i].ts);
+    }
+    engine.flush();
+    stats = engine.stats();
+  });
+  EXPECT_EQ(sink.sorted_cycles(), reference_sink.sorted_cycles());
+  expect_stats_equal(stats, reference_stats);
+}
+
+TEST(StreamSnapshot, MultiWindowRoundTrip) {
+  const TemporalGraph graph = test_graph();
+  StreamOptions options = engine_options();
+  options.windows = {kWindow / 2, kWindow};
+
+  CollectingSink reference_sink;
+  StreamStats reference_stats;
+  run_reference(graph, options, reference_sink, reference_stats);
+  CollectingSink sink;
+  StreamStats stats;
+  run_interrupted(graph, options, 175, sink, stats);
+  EXPECT_EQ(sink.sorted_cycles(), reference_sink.sorted_cycles());
+  expect_stats_equal(stats, reference_stats);
+}
+
+TEST(StreamSnapshot, FileRoundTrip) {
+  const TemporalGraph graph = test_graph();
+  const StreamOptions options = engine_options();
+  const std::string path =
+      testing::TempDir() + "parcycle_stream_snapshot_test.snap";
+  const auto edges = graph.edges_by_time();
+  CollectingSink sink;
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    for (std::size_t i = 0; i < 100; ++i) {
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    engine.save_snapshot_file(path);
+  });
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, &sink);
+    engine.restore_snapshot_file(path);
+    EXPECT_EQ(engine.edges_pushed(), 100u);
+    for (std::size_t i = 100; i < edges.size(); ++i) {
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    engine.flush();
+  });
+  CollectingSink reference_sink;
+  StreamStats reference_stats;
+  run_reference(graph, options, reference_sink, reference_stats);
+  EXPECT_EQ(sink.sorted_cycles(), reference_sink.sorted_cycles());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: truncation, corruption, configuration mismatch
+// ---------------------------------------------------------------------------
+
+std::string snapshot_bytes_of_partial_run(const StreamOptions& options) {
+  const TemporalGraph graph = test_graph();
+  const auto edges = graph.edges_by_time();
+  std::stringstream snapshot;
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, nullptr);
+    for (std::size_t i = 0; i < 150; ++i) {
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    engine.save_snapshot(snapshot);
+  });
+  return snapshot.str();
+}
+
+void expect_restore_rejected(const std::string& bytes,
+                             const StreamOptions& options) {
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, nullptr);
+    std::stringstream in(bytes);
+    EXPECT_THROW(engine.restore_snapshot(in), std::runtime_error);
+  });
+}
+
+TEST(StreamSnapshot, TruncationRejectedAtEveryRegion) {
+  const StreamOptions options = engine_options();
+  const std::string bytes = snapshot_bytes_of_partial_run(options);
+  ASSERT_GT(bytes.size(), 64u);
+  // Prefix lengths covering each header field boundary, mid-payload, and
+  // one-byte-short.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{8},
+        std::size_t{15}, std::size_t{16}, std::size_t{24}, std::size_t{63},
+        bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE(keep);
+    expect_restore_rejected(bytes.substr(0, keep), options);
+  }
+}
+
+TEST(StreamSnapshot, CorruptionRejected) {
+  const StreamOptions options = engine_options();
+  const std::string bytes = snapshot_bytes_of_partial_run(options);
+
+  {
+    std::string bad = bytes;  // flip one payload byte: checksum mismatch
+    bad[bytes.size() / 2] = static_cast<char>(bad[bytes.size() / 2] ^ 0x40);
+    expect_restore_rejected(bad, options);
+  }
+  {
+    std::string bad = bytes;  // bad magic
+    bad[0] = 'X';
+    expect_restore_rejected(bad, options);
+  }
+  {
+    std::string bad = bytes;  // unsupported version
+    bad[4] = static_cast<char>(0x7f);
+    expect_restore_rejected(bad, options);
+  }
+  {
+    std::string bad = bytes;  // implausible payload size
+    bad[8] = static_cast<char>(0xff);
+    bad[14] = static_cast<char>(0xff);
+    expect_restore_rejected(bad, options);
+  }
+}
+
+TEST(StreamSnapshot, WindowLaneMismatchRejected) {
+  const std::string bytes = snapshot_bytes_of_partial_run(engine_options());
+  StreamOptions different = engine_options();
+  different.window = kWindow * 2;
+  expect_restore_rejected(bytes, different);
+  StreamOptions more_lanes = engine_options();
+  more_lanes.windows = {kWindow, kWindow * 2};
+  expect_restore_rejected(bytes, more_lanes);
+}
+
+TEST(StreamSnapshot, RestoreRequiresFreshEngine) {
+  const StreamOptions options = engine_options();
+  const std::string bytes = snapshot_bytes_of_partial_run(options);
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, nullptr);
+    engine.push(0, 1, 5);
+    std::stringstream in(bytes);
+    EXPECT_THROW(engine.restore_snapshot(in), std::runtime_error);
+  });
+}
+
+}  // namespace
+}  // namespace parcycle

@@ -10,6 +10,8 @@
 //     coarse-grained saturates at total_work / max_single_search; 2SCENT's
 //     sequential preprocessing bounds its useful parallelism (it is the
 //     serial baseline, plotted as its slowdown factor vs serial Johnson).
+#include <algorithm>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -17,20 +19,33 @@
 #include "bench_support/datasets.hpp"
 #include "bench_support/runner.hpp"
 #include "bench_support/table.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "schedsim/simulator.hpp"
 
 using namespace parcycle;
 
 int main(int argc, char** argv) {
   if (help_requested(argc, argv,
-                     "usage: bench_fig9_scalability [all]\n"
+                     "usage: bench_fig9_scalability [all] [--trace-out "
+                     "<file>]\n"
                      "Strong-scaling sweep on simulated cores plus a real "
-                     "thread sweep; pass 'all' for the full roster.\n")) {
+                     "thread sweep; pass 'all' for the full roster.\n"
+                     "--trace-out writes a Chrome trace_event JSON of each "
+                     "real-thread replay (overwritten per\nreplay: the "
+                     "surviving file is the last dataset at the highest "
+                     "thread count). Traced replays\nuse per-task timing — "
+                     "ignore their wall clocks.\n")) {
     return 0;
   }
   std::size_t limit = 4;
-  if (argc > 1 && std::string(argv[1]) == "all") {
-    limit = dataset_registry().size();
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "all") {
+      limit = dataset_registry().size();
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
   const unsigned sim_cores[] = {1, 4, 16, 64, 256, 1024};
 
@@ -85,7 +100,17 @@ int main(int argc, char** argv) {
     // Real thread sweep (timeshared on one core).
     TextTable real({"threads", "fine-J wall", "coarse-J wall", "cycles"});
     for (const unsigned threads : {1u, 2u, 4u}) {
-      Scheduler::with_pool(threads, [&](Scheduler& sched) {
+      TraceRecorder recorder(std::max(1u, threads),
+                             TraceRecorder::kDefaultCapacity,
+                             /*enabled=*/!trace_path.empty());
+      SchedulerOptions sched_options;
+      if (!trace_path.empty()) {
+        sched_options.timing = TimingMode::kPerTask;
+      }
+      Scheduler::with_pool(threads, sched_options, [&](Scheduler& sched) {
+        if (!trace_path.empty()) {
+          sched.set_tracer(&recorder);
+        }
         const auto fj = run_temporal(Algo::kFineJohnson, graph, window, sched);
         const auto cj =
             run_temporal(Algo::kCoarseJohnson, graph, window, sched);
@@ -94,6 +119,16 @@ int main(int argc, char** argv) {
                       TextTable::with_unit(cj.seconds),
                       TextTable::count(fj.result.num_cycles)});
       });
+      if (!trace_path.empty()) {
+        // with_pool has joined the workers, so the ring read is ordered.
+        // Overwritten per replay: the surviving file is the last dataset at
+        // the highest thread count.
+        std::string error;
+        if (!write_chrome_trace_file(recorder, trace_path, &error,
+                                     "bench_fig9_scalability")) {
+          std::cerr << "trace export failed: " << error << "\n";
+        }
+      }
     }
     real.print(std::cout);
     std::cout << "\n";

@@ -33,6 +33,9 @@
 #include "bench_support/datasets.hpp"
 #include "bench_support/json.hpp"
 #include "bench_support/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "stream/engine.hpp"
 #include "support/prng.hpp"
 #include "support/scheduler.hpp"
@@ -48,7 +51,7 @@ constexpr const char* kUsage =
     "[--batch N] [--hot N] [--max-length K]\n"
     "  [--window-scale X] [--window-scales X1,X2,...] [--slack S] "
     "[--shuffle] [--no-prune]\n"
-    "  [--dataset-dir <dir>] [--json <path>]\n"
+    "  [--dataset-dir <dir>] [--json <path>] [--trace-out <file>]\n"
     "Replays each dataset's edges as a temporal stream through the "
     "StreamEngine and reports ingest\nthroughput, cycles and per-edge latency "
     "percentiles per thread count, against the batch temporal\nenumerator on "
@@ -60,7 +63,11 @@ constexpr const char* kUsage =
     "(default 256); --hot the escalation frontier (default 64 live\n"
     "out-edges); --max-length bounds cycle length (default unbounded).\n"
     "--dataset-dir (or $PARCYCLE_DATASET_DIR) benches real fetched datasets "
-    "instead of the synthetic analogs.\n";
+    "instead of the synthetic analogs.\n"
+    "--trace-out writes a Chrome trace_event JSON per replay (overwritten "
+    "each time, so the file left\nbehind covers the last dataset x thread "
+    "combination); tracing switches that replay to per-task\ntiming, so quote "
+    "throughput numbers only from untraced runs.\n";
 
 std::vector<unsigned> parse_threads(const std::string& arg) {
   std::vector<unsigned> threads;
@@ -144,6 +151,7 @@ int main(int argc, char** argv) {
   bool shuffle = false;
   bool use_prune = true;
   std::size_t prune_frontier = StreamOptions{}.prune_frontier_threshold;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -166,6 +174,8 @@ int main(int argc, char** argv) {
       use_prune = false;
     } else if (arg == "--prune-frontier" && i + 1 < argc) {
       prune_frontier = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if ((arg == "--json" || arg == "--dataset-dir") && i + 1 < argc) {
       ++i;  // parsed by json_output_path / dataset_dir_from_cli
     } else if (arg == "all") {
@@ -328,7 +338,23 @@ int main(int argc, char** argv) {
     for (const unsigned threads : thread_counts) {
       StreamStats stats;
       double seconds = 0.0;
-      Scheduler::with_pool(threads, [&](Scheduler& sched) {
+      // Registry snapshot of this replay (stream + scheduler counters),
+      // imported while the pool is alive and persisted into the --json row.
+      MetricsRegistry metrics;
+      // Tracing flips this replay to per-task timing (per-task spans need the
+      // two clock reads); untraced replays keep the transition timing, so the
+      // baseline wall-times are unaffected when --trace-out is absent.
+      TraceRecorder recorder(std::max(1u, threads),
+                             TraceRecorder::kDefaultCapacity,
+                             /*enabled=*/!trace_path.empty());
+      SchedulerOptions sched_options;
+      if (!trace_path.empty()) {
+        sched_options.timing = TimingMode::kPerTask;
+      }
+      Scheduler::with_pool(threads, sched_options, [&](Scheduler& sched) {
+        if (!trace_path.empty()) {
+          sched.set_tracer(&recorder);
+        }
         StreamOptions options;
         options.windows = windows;
         options.reorder_slack = dataset_slack;
@@ -356,7 +382,19 @@ int main(int argc, char** argv) {
         engine.flush();
         seconds = timer.elapsed_seconds();
         stats = engine.stats();
+        metrics.import_stream(stats);
+        metrics.import_scheduler(sched);
       });
+      if (!trace_path.empty()) {
+        // The pool is gone (with_pool returned), so the ring read is
+        // join-ordered. Overwritten per replay: the surviving file covers
+        // the last dataset x thread combination.
+        std::string error;
+        if (!write_chrome_trace_file(recorder, trace_path, &error,
+                                     "bench_stream")) {
+          std::cerr << "trace export failed: " << error << "\n";
+        }
+      }
       if (stats.late_edges_rejected != 0) {
         counts_agree = false;
         std::cerr << "LATE REJECTIONS in a within-slack replay: " << spec.name
@@ -401,6 +439,32 @@ int main(int argc, char** argv) {
         json->kv("latency_p50_ns", stats.latency_p50_ns);
         json->kv("latency_p99_ns", stats.latency_p99_ns);
         json->kv("latency_max_ns", stats.latency_max_ns);
+        // Snapshot of the unified registry, read back through its named
+        // surface (extra keys are ignored by diff_bench_baselines.py, which
+        // compares only the fields it names).
+        json->key("metrics");
+        json->begin_object();
+        json->kv("stream_batches",
+                 metrics.value_u64("parcycle_stream_batches_total").value_or(0));
+        json->kv(
+            "stream_expired_edges",
+            metrics.value_u64("parcycle_stream_expired_edges_total").value_or(0));
+        json->kv("stream_live_edges",
+                 metrics.value_u64("parcycle_stream_live_edges").value_or(0));
+        std::uint64_t tasks_executed = 0;
+        std::uint64_t tasks_stolen = 0;
+        for (unsigned w = 0; w < std::max(1u, threads); ++w) {
+          const std::string labels = "worker=\"" + std::to_string(w) + "\"";
+          tasks_executed +=
+              metrics.value_u64("parcycle_worker_tasks_executed_total", labels)
+                  .value_or(0);
+          tasks_stolen +=
+              metrics.value_u64("parcycle_worker_tasks_stolen_total", labels)
+                  .value_or(0);
+        }
+        json->kv("tasks_executed", tasks_executed);
+        json->kv("tasks_stolen", tasks_stolen);
+        json->end_object();
         json->key("per_window");
         json->begin_array();
         for (const StreamWindowStats& ws : stats.per_window) {

@@ -38,12 +38,16 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_support/cli.hpp"
 #include "core/fine_hc_dfs.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "stream/engine.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
@@ -104,6 +108,8 @@ int main(int argc, char** argv) {
                      "[max_hops] [--monitor]\n"
                      "  [--snapshot <path>] [--snapshot-every N] "
                      "[--restore <path>] [--feed-delay-us U]\n"
+                     "  [--trace-out <file>] [--metrics-out <file>] "
+                     "[--metrics-every N]\n"
                      "Finds temporal cycles plus hop-constrained (<= max_hops "
                      "edges, order-agnostic) rings in a synthetic payment "
                      "network (defaults: 2000 accounts, 20000 transfers, 4 "
@@ -114,14 +120,22 @@ int main(int argc, char** argv) {
                      "(default 2000) and on SIGTERM\n(exit 3); --restore "
                      "resumes a killed monitor without replaying processed "
                      "transfers;\n--feed-delay-us throttles the feed so a "
-                     "signal lands mid-stream.\n")) {
+                     "signal lands mid-stream.\n--trace-out writes a Chrome "
+                     "trace_event JSON of the whole run (load in "
+                     "Perfetto);\n--metrics-out publishes a Prometheus-style "
+                     "metrics snapshot every --metrics-every\ntransfers "
+                     "(default 2000) during the monitor feed, atomically "
+                     "renamed per dump.\n")) {
     return 0;
   }
 
   bool monitor = false;
   std::string snapshot_path;
   std::string restore_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::uint64_t snapshot_every = 2000;
+  std::uint64_t metrics_every = 2000;
   long feed_delay_us = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +149,12 @@ int main(int argc, char** argv) {
       restore_path = argv[++i];
     } else if (std::strcmp(argv[i], "--feed-delay-us") == 0 && i + 1 < argc) {
       feed_delay_us = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
+      metrics_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
@@ -176,7 +196,24 @@ int main(int argc, char** argv) {
   options.max_cycle_length = 6;
 
   CollectingSink sink;
-  Scheduler sched(4);
+  // With tracing, per-task timing buys per-task spans (two clock reads per
+  // task — acceptable for a diagnostic run); untraced runs keep the
+  // zero-clock-read transition timing.
+  SchedulerOptions sched_options;
+  if (!trace_path.empty()) {
+    sched_options.timing = TimingMode::kPerTask;
+  }
+  // Recorder and export guard are declared before the Scheduler: destruction
+  // order tears the pool down first (the destructor records worker 0's final
+  // busy span), so the guard's ring read is join-ordered and race-free. The
+  // guard covers every return path below.
+  TraceRecorder recorder(4, TraceRecorder::kDefaultCapacity,
+                         /*enabled=*/!trace_path.empty());
+  ScopedTraceExport trace_export(recorder, trace_path, "fraud_detection");
+  Scheduler sched(4, sched_options);
+  if (!trace_path.empty()) {
+    sched.set_tracer(&recorder);
+  }
   const EnumResult result =
       fine_temporal_johnson_cycles(payments, window, sched, options, {}, &sink);
 
@@ -239,6 +276,24 @@ int main(int argc, char** argv) {
   stream_options.max_cycle_length = options.max_cycle_length;
   stream_options.num_vertices_hint = payments.num_vertices();
   StreamEngine engine(stream_options, sched, &alerts);
+  // Live metrics publication: each dump clears and re-imports the engine's
+  // and scheduler's current totals, rendered to Prometheus text and
+  // atomically renamed into place, so `watch cat <file>` follows the feed.
+  MetricsRegistry metrics;
+  auto dump_metrics = [&]() {
+    if (metrics_path.empty()) {
+      return true;
+    }
+    metrics.clear();
+    metrics.import_stream(engine.stats());
+    metrics.import_scheduler(sched);
+    std::string error;
+    if (!metrics.write_text_file(metrics_path, &error)) {
+      std::cerr << "metrics dump failed: " << error << "\n";
+      return false;
+    }
+    return true;
+  };
   std::uint64_t resume_at = 0;
   WallTimer feed_timer;
   try {
@@ -263,6 +318,10 @@ int main(int argc, char** argv) {
       if (!snapshot_path.empty() && snapshot_every > 0 &&
           engine.edges_pushed() % snapshot_every == 0) {
         engine.save_snapshot_file(snapshot_path);
+      }
+      if (!metrics_path.empty() && metrics_every > 0 &&
+          engine.edges_pushed() % metrics_every == 0) {
+        dump_metrics();
       }
       if (g_terminate.load(std::memory_order_relaxed)) {
         engine.save_snapshot_file(snapshot_path);
@@ -297,6 +356,49 @@ int main(int argc, char** argv) {
             << stream_stats.latency_p50_ns << "ns, p99 "
             << stream_stats.latency_p99_ns << "ns, "
             << stream_stats.escalated_edges << " escalated)\n";
+  if (!metrics_path.empty()) {
+    // Final dump, then cross-check the published counters against the very
+    // StreamStats totals they were imported from: any drift between the
+    // registry's named surface and the engine's counters is a bug, caught
+    // here rather than on an operator's dashboard.
+    if (!dump_metrics()) {
+      return 1;
+    }
+    const StreamStats final_stats = engine.stats();
+    const std::vector<WorkerStats> wstats = sched.worker_stats();
+    std::uint64_t tasks_executed = 0;
+    for (std::size_t w = 0; w < wstats.size(); ++w) {
+      tasks_executed +=
+          metrics.value_u64("parcycle_worker_tasks_executed_total",
+                            "worker=\"" + std::to_string(w) + "\"")
+              .value_or(0);
+    }
+    std::uint64_t expected_tasks = 0;
+    for (const WorkerStats& ws : wstats) {
+      expected_tasks += ws.tasks_executed;
+    }
+    const bool ok =
+        metrics.value_u64("parcycle_stream_cycles_found_total") ==
+            final_stats.cycles_found &&
+        metrics.value_u64("parcycle_stream_edges_ingested_total") ==
+            final_stats.edges_ingested &&
+        metrics.value_u64("parcycle_stream_edges_pushed_total") ==
+            final_stats.edges_pushed &&
+        metrics.value_u64("parcycle_stream_batches_total") ==
+            final_stats.batches &&
+        metrics.value_u64("parcycle_stream_escalated_edges_total") ==
+            final_stats.escalated_edges &&
+        metrics.value_u64("parcycle_stream_work_edges_visited_total") ==
+            final_stats.work.edges_visited &&
+        tasks_executed == expected_tasks;
+    if (!ok) {
+      std::cerr << "METRICS MISMATCH: registry counters disagree with "
+                   "StreamStats/WorkerStats totals\n";
+      return 1;
+    }
+    std::cout << "monitor: metrics cross-check ok; snapshot written to "
+              << metrics_path << "\n";
+  }
   if (stream_stats.cycles_found == result.num_cycles) {
     std::cout << "monitor total matches the batch temporal scan.\n";
     return 0;

@@ -45,6 +45,8 @@
 #include "core/tiernan.hpp"
 #include "io/edge_list.hpp"
 #include "io/graph_cache.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "stream/engine.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
@@ -89,7 +91,7 @@ int usage() {
                "  [--stream] [--stream-batch N] [--stream-windows W1,W2,...] "
                "[--stream-slack S]\n"
                "  [--snapshot-path <path>] [--snapshot-every N] "
-               "[--restore <path>]\n"
+               "[--restore <path>] [--trace-out <file>]\n"
                "  [--dataset-file <path>] [--dataset <NAME>] "
                "[--dataset-dir <dir>] [--save-cache <path>] [--serial-load]\n"
                "--hops K enumerates hop-constrained cycles (<= K edges) with "
@@ -110,7 +112,11 @@ int usage() {
                "ingest; --stream-slack tolerates\nout-of-order arrivals up to "
                "S time units late. --snapshot-path/--snapshot-every persist "
                "the engine\nstate every N edges (and at completion); "
-               "--restore resumes a snapshot mid-stream without replay.\n";
+               "--restore resumes a snapshot mid-stream without replay.\n"
+               "--trace-out records per-worker spans (tasks, steals, "
+               "search roots, stream batches) and writes\na Chrome "
+               "trace_event JSON on exit — load it in Perfetto or "
+               "chrome://tracing.\n";
   return 2;
 }
 
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
   Timestamp stream_slack = 0;
   std::string snapshot_path;
   std::string restore_path;
+  std::string trace_path;
   std::uint64_t snapshot_every = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -208,6 +215,8 @@ int main(int argc, char** argv) {
                               : 0;
     } else if (arg == "--restore") {
       restore_path = next() ? argv[i] : "";
+    } else if (arg == "--trace-out") {
+      trace_path = next() ? argv[i] : "";
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -220,8 +229,22 @@ int main(int argc, char** argv) {
   }
 
   // The scheduler exists before the load so text parsing can run chunked
-  // across the same worker pool that will enumerate.
-  Scheduler sched(threads);
+  // across the same worker pool that will enumerate. When tracing, per-task
+  // timing buys per-task spans; untraced runs keep the zero-clock-read
+  // transition timing. Recorder and export guard precede the Scheduler so
+  // that destruction order joins the pool before the rings are read — the
+  // guard then writes the Chrome trace on every return path.
+  SchedulerOptions sched_options;
+  if (!trace_path.empty()) {
+    sched_options.timing = TimingMode::kPerTask;
+  }
+  TraceRecorder recorder(std::max(1u, threads), TraceRecorder::kDefaultCapacity,
+                         /*enabled=*/!trace_path.empty());
+  ScopedTraceExport trace_export(recorder, trace_path, "parcycle_cli");
+  Scheduler sched(threads, sched_options);
+  if (!trace_path.empty()) {
+    sched.set_tracer(&recorder);
+  }
   Scheduler* load_sched = serial_load ? nullptr : &sched;
 
   TemporalGraph graph;

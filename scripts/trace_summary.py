@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Validate and summarise a Chrome trace_event JSON written by --trace-out.
+
+Usage:
+    trace_summary.py <trace.json> [--expect-workers N] [--top K]
+    trace_summary.py --metrics <metrics.prom> [--expect name=value ...]
+
+Trace mode checks the schema invariants the exporter promises (CI runs this
+against a fresh --trace-out artifact):
+
+* the file is a JSON object with a "traceEvents" array;
+* every event carries pid/tid/ph/name/ts, ph is one of M/X/i/C, "X" events
+  carry a dur and "i" events a scope;
+* within each (pid, tid) track the non-metadata events are sorted by ts
+  (the exporter start-sorts each worker's ring before writing);
+* timestamps and durations are non-negative numbers.
+
+It then prints per-worker busy% (worker_busy spans when present — transition
+timing — else the union of task spans under per-task timing), steal counts,
+and the top K longest spans.
+
+Metrics mode validates the Prometheus text exposition written by
+--metrics-out: HELP/TYPE comments, histogram bucket monotonicity,
+_count == the +Inf bucket, and optional --expect name=value exact checks
+against scalar samples (labels are part of the name key:
+'parcycle_stream_cycles_found_total' or
+'parcycle_worker_tasks_executed_total{worker="0"}').
+
+Exit status: 0 on success, 1 on any validation failure, 2 on usage errors.
+"""
+
+import argparse
+import json
+import signal
+import sys
+from collections import defaultdict
+
+# Die quietly when the reader goes away (e.g. `trace_summary.py t.json | head`).
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+KNOWN_PH = {"M", "X", "i", "C"}
+
+
+def fail(msg):
+    print(f"trace_summary: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+# ---------------------------------------------------------------------------
+# Trace mode
+# ---------------------------------------------------------------------------
+
+def validate_events(events):
+    last_ts = defaultdict(lambda: -1.0)
+    for idx, ev in enumerate(events):
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                fail(f"event {idx} missing '{key}': {ev}")
+        ph = ev["ph"]
+        if ph not in KNOWN_PH:
+            fail(f"event {idx} has unknown ph '{ph}'")
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            fail(f"event {idx} ({ev['name']}) missing 'ts'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {idx} ({ev['name']}) has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"X event {idx} ({ev['name']}) has bad dur {dur!r}")
+        if ph == "i" and "s" not in ev:
+            fail(f"instant event {idx} ({ev['name']}) missing scope 's'")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts[track]:
+            fail(f"event {idx} ({ev['name']}) breaks ts monotonicity on "
+                 f"track pid={track[0]} tid={track[1]}: "
+                 f"{ts} < {last_ts[track]}")
+        last_ts[track] = ts
+
+
+def union_length(intervals):
+    """Total length covered by [start, end) intervals (they may nest)."""
+    total = 0.0
+    end = -1.0
+    for start, stop in sorted(intervals):
+        if start > end:
+            total += stop - start
+            end = stop
+        elif stop > end:
+            total += stop - end
+            end = stop
+    return total
+
+
+def summarise_trace(path, expect_workers, top_k):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {path}: {err}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    validate_events(events)
+
+    spans = [e for e in events if e["ph"] == "X"]
+    if not spans and expect_workers:
+        fail("trace contains no spans")
+
+    busy = defaultdict(list)       # tid -> [(start, end)] from worker_busy
+    task_cover = defaultdict(list)  # tid -> [(start, end)] from task spans
+    steals = defaultdict(int)
+    t_min, t_max = float("inf"), 0.0
+    for ev in events:
+        if ev["ph"] == "M":
+            continue
+        t_min = min(t_min, ev["ts"])
+        if ev["ph"] == "X":
+            end = ev["ts"] + ev["dur"]
+            t_max = max(t_max, end)
+            if ev["name"] == "worker_busy":
+                busy[ev["tid"]].append((ev["ts"], end))
+            elif ev["name"] == "task":
+                task_cover[ev["tid"]].append((ev["ts"], end))
+        else:
+            t_max = max(t_max, ev["ts"])
+            if ev["name"] == "steal":
+                steals[ev["tid"]] += 1
+
+    workers = sorted({e["tid"] for e in events if e["ph"] != "M"})
+    if expect_workers is not None and len(workers) < expect_workers:
+        fail(f"expected events from >= {expect_workers} workers, "
+             f"got {len(workers)} ({workers})")
+
+    wall = max(t_max - t_min, 1e-9)
+    print(f"{path}: {len(events)} events, {len(spans)} spans, "
+          f"{len(workers)} worker tracks, {wall / 1e6:.4f}s span")
+    # worker_busy exists only under transition timing; per-task timing runs
+    # carry the same information as the union of their task spans.
+    source = busy if any(busy.values()) else task_cover
+    label = "busy" if any(busy.values()) else "task-covered"
+    for tid in workers:
+        covered = union_length(source.get(tid, []))
+        print(f"  worker {tid}: {label} {100.0 * covered / wall:5.1f}%  "
+              f"steals {steals.get(tid, 0)}")
+
+    longest = sorted(spans, key=lambda e: e["dur"], reverse=True)[:top_k]
+    if longest:
+        print(f"  top {len(longest)} longest spans:")
+        for ev in longest:
+            print(f"    {ev['name']:>14}  worker {ev['tid']}  "
+                  f"{ev['dur'] / 1e3:.3f}ms @ {ev['ts'] / 1e3:.3f}ms")
+    print("trace_summary: OK")
+
+
+# ---------------------------------------------------------------------------
+# Metrics mode
+# ---------------------------------------------------------------------------
+
+def parse_prometheus(path):
+    """Returns ({name_with_labels: value}, [(family, le, value)] buckets)."""
+    samples = {}
+    buckets = defaultdict(list)  # family (with non-le labels) -> [(le, val)]
+    typed = {}
+    try:
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                if parts[1] == "TYPE":
+                    typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+                continue
+            fail(f"{path}:{lineno}: malformed comment line: {line}")
+        # name{labels} value | name value
+        try:
+            key, value_str = line.rsplit(None, 1)
+            value = float(value_str)
+        except ValueError:
+            fail(f"{path}:{lineno}: malformed sample line: {line}")
+        samples[key] = value
+        if "_bucket{" in key:
+            name, labels = key.split("{", 1)
+            labels = labels.rstrip("}")
+            pairs = dict(p.split("=", 1) for p in labels.split(",") if p)
+            le = pairs.pop("le", None)
+            if le is None:
+                fail(f"{path}:{lineno}: _bucket sample without le label")
+            family = name[: -len("_bucket")]
+            rest = ",".join(f"{k}={v}" for k, v in sorted(pairs.items()))
+            buckets[(family, rest)].append((le.strip('"'), value))
+    return samples, buckets, typed
+
+
+def check_metrics(path, expectations):
+    samples, buckets, typed = parse_prometheus(path)
+    if not samples:
+        fail(f"{path}: no samples")
+    for (family, rest), entries in buckets.items():
+        # Exposition order is ascending le with +Inf last; cumulative counts
+        # must be monotonic and _count must equal the +Inf bucket.
+        values = [v for _, v in entries]
+        if any(b > a for a, b in zip(values[1:], values)):
+            fail(f"{family}{{{rest}}}: bucket counts not monotonic: {values}")
+        if entries[-1][0] != "+Inf":
+            fail(f"{family}{{{rest}}}: last bucket is {entries[-1][0]}, "
+                 f"not +Inf")
+        count_key = f"{family}_count" + (f"{{{rest}}}" if rest else "")
+        # labels may be ordered differently in the _count line; fall back to
+        # a scan when the exact key is absent.
+        count = samples.get(count_key)
+        if count is None:
+            matches = [v for k, v in samples.items()
+                       if k.startswith(f"{family}_count")]
+            count = matches[0] if len(matches) == 1 else None
+        if count is not None and count != entries[-1][1]:
+            fail(f"{family}{{{rest}}}: _count {count} != +Inf bucket "
+                 f"{entries[-1][1]}")
+    for spec in expectations:
+        if "=" not in spec:
+            fail(f"bad --expect '{spec}' (want name=value)")
+        name, want = spec.rsplit("=", 1)
+        if name not in samples:
+            fail(f"--expect: no sample named '{name}' in {path}")
+        if samples[name] != float(want):
+            fail(f"--expect: {name} is {samples[name]}, wanted {want}")
+    n_hist = len({f for (f, _) in buckets})
+    print(f"{path}: {len(samples)} samples, {len(typed)} typed families, "
+          f"{n_hist} histograms, {len(expectations)} expectations met")
+    print("trace_summary: OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate/summarise --trace-out and --metrics-out output")
+    parser.add_argument("trace", nargs="?", help="Chrome trace JSON file")
+    parser.add_argument("--metrics", help="Prometheus text file to validate")
+    parser.add_argument("--expect-workers", type=int, default=None,
+                        help="fail unless >= N worker tracks have events")
+    parser.add_argument("--expect", action="append", default=[],
+                        help="metrics mode: require name=value exactly")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many longest spans to print (default 10)")
+    args = parser.parse_args()
+    if args.metrics:
+        check_metrics(args.metrics, args.expect)
+        return
+    if not args.trace:
+        parser.error("pass a trace file or --metrics FILE")
+    summarise_trace(args.trace, args.expect_workers, args.top)
+
+
+if __name__ == "__main__":
+    main()

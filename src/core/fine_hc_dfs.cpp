@@ -9,6 +9,7 @@
 #include "core/hc_dfs.hpp"
 #include "core/hc_state.hpp"
 #include "core/johnson_state.hpp"  // ScratchPool
+#include "obs/trace.hpp"
 #include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 
@@ -217,6 +218,9 @@ bool fine_circuit(HcSearchContext& search, HcState& st, VertexId v,
 
 // Runs the complete search for one starting edge.
 void search_root(FineHcRun& run, const TemporalEdge& e0) {
+  TraceSpan trace(run.sched.tracer(),
+                  static_cast<unsigned>(Scheduler::current_worker_id()),
+                  TraceName::kSearchRoot, e0.id);
   if (e0.src == e0.dst) {
     if (run.max_hops >= 1) {
       if (run.sink != nullptr) {

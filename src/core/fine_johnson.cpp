@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/johnson_impl.hpp"
+#include "obs/trace.hpp"
 #include "support/counter_sink.hpp"
 #include "support/spinlock.hpp"
 
@@ -223,6 +224,9 @@ bool fine_circuit(SearchContext& search, JohnsonState& st, VertexId v,
 
 // Runs the complete search for one starting edge.
 void search_root(FineJohnsonRun& run, const TemporalEdge& e0) {
+  TraceSpan trace(run.sched.tracer(),
+                  static_cast<unsigned>(Scheduler::current_worker_id()),
+                  TraceName::kSearchRoot, e0.id);
   if (e0.src == e0.dst) {
     if (run.sink != nullptr) {
       run.sink->on_cycle({&e0.src, 1}, {&e0.id, 1});

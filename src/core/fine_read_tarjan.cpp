@@ -7,6 +7,7 @@
 
 #include "core/johnson_impl.hpp"  // prepare_start
 #include "core/read_tarjan_impl.hpp"
+#include "obs/trace.hpp"
 #include "support/counter_sink.hpp"
 
 namespace parcycle {
@@ -154,6 +155,9 @@ void exec_call(SearchContext& search, ReadTarjanState& st,
 }
 
 void search_root(FineRTRun& run, const TemporalEdge& e0) {
+  TraceSpan trace(run.sched.tracer(),
+                  static_cast<unsigned>(Scheduler::current_worker_id()),
+                  TraceName::kSearchRoot, e0.id);
   if (e0.src == e0.dst) {
     if (run.sink != nullptr) {
       run.sink->on_cycle({&e0.src, 1}, {&e0.id, 1});

@@ -1,0 +1,90 @@
+// Log2 latency histogram shared by the stream engine's per-worker lane
+// counters and the scheduler's per-task timing.
+//
+// 64 buckets indexed by bit_width(value): bucket b counts samples whose
+// value needs exactly b bits, i.e. values in [2^(b-1), 2^b - 1] (bucket 0
+// holds the value 0). One increment per sample, no binning table, and
+// merging per-worker histograms is 64 adds — which is why the stream engine
+// can afford one histogram per worker per window lane with zero
+// synchronisation on the record path.
+//
+// Percentiles report the UPPER BOUND of the bucket where the cumulative
+// count crosses the rank (2^b - 1). That convention predates this header
+// (it is what StreamStats::latency_p50_ns has always meant) and is pinned
+// by obs_metrics_test; changing it silently shifts every latency baseline.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace parcycle {
+
+struct Log2Histogram {
+  static constexpr int kBuckets = 64;
+
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t sum = 0;  // total of raw sample values (Prometheus _sum)
+  std::uint64_t max = 0;
+
+  static constexpr int bucket_index(std::uint64_t value) noexcept {
+    return std::min<int>(std::bit_width(value), kBuckets - 1);
+  }
+
+  // Largest value the bucket can hold: 0, 1, 3, 7, ... 2^b - 1. The top
+  // bucket also absorbs the >= 2^63 tail, so its bound is nominal.
+  static constexpr std::uint64_t bucket_upper_bound(int b) noexcept {
+    return b <= 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets[bucket_index(value)] += 1;
+    sum += value;
+    if (value > max) {
+      max = value;
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      total += buckets[b];
+    }
+    return total;
+  }
+
+  bool empty() const noexcept { return count() == 0; }
+
+  void merge(const Log2Histogram& other) noexcept {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[b] += other.buckets[b];
+    }
+    sum += other.sum;
+    max = std::max(max, other.max);
+  }
+
+  void clear() noexcept { *this = Log2Histogram{}; }
+
+  // Upper bound of the bucket where the cumulative count crosses q*count.
+  // Empty histogram -> 0. q == 1.0 lands past the last bucket and reports
+  // the saturated maximum, matching the pre-obs stream implementation.
+  std::uint64_t percentile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) {
+      return 0;
+    }
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > rank) {
+        return bucket_upper_bound(b);
+      }
+    }
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+};
+
+}  // namespace parcycle

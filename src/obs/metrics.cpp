@@ -1,0 +1,338 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/engine.hpp"
+#include "support/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace parcycle {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+std::string worker_label(std::size_t w) {
+  std::string labels = "worker=\"";
+  append_u64(labels, w);
+  labels += '"';
+  return labels;
+}
+
+void append_sample_line(std::string& out, const std::string& name,
+                        const std::string& labels, const MetricSample& s) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  if (s.integral) {
+    append_u64(out, s.ivalue);
+  } else {
+    append_double(out, s.dvalue);
+  }
+  out += '\n';
+}
+
+// Histogram exposition: cumulative le-buckets at the log2 upper bounds, up
+// to the last non-empty bucket, then +Inf / _sum / _count.
+void append_histogram(std::string& out, const std::string& name,
+                      const std::string& labels, const Log2Histogram& h) {
+  int top = -1;
+  for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+    if (h.buckets[b] != 0) {
+      top = b;
+    }
+  }
+  const std::string label_prefix = labels.empty() ? "" : labels + ",";
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b <= top; ++b) {
+    cumulative += h.buckets[b];
+    out += name;
+    out += "_bucket{";
+    out += label_prefix;
+    out += "le=\"";
+    append_u64(out, Log2Histogram::bucket_upper_bound(b));
+    out += "\"} ";
+    append_u64(out, cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{";
+  out += label_prefix;
+  out += "le=\"+Inf\"} ";
+  append_u64(out, cumulative);
+  out += '\n';
+  out += name;
+  if (!labels.empty()) {
+    out += "_sum{" + labels + "} ";
+  } else {
+    out += "_sum ";
+  }
+  append_u64(out, h.sum);
+  out += '\n';
+  out += name;
+  if (!labels.empty()) {
+    out += "_count{" + labels + "} ";
+  } else {
+    out += "_count ";
+  }
+  append_u64(out, cumulative);
+  out += '\n';
+}
+
+}  // namespace
+
+MetricSample& MetricsRegistry::upsert(const std::string& name, MetricType type,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  for (MetricFamily& family : families_) {
+    if (family.name == name) {
+      if (!help.empty() && family.help.empty()) {
+        family.help = help;
+      }
+      for (MetricSample& sample : family.samples) {
+        if (sample.labels == labels) {
+          return sample;
+        }
+      }
+      family.samples.emplace_back();
+      family.samples.back().labels = labels;
+      return family.samples.back();
+    }
+  }
+  families_.emplace_back();
+  MetricFamily& family = families_.back();
+  family.name = name;
+  family.help = help;
+  family.type = type;
+  family.samples.emplace_back();
+  family.samples.back().labels = labels;
+  return family.samples.back();
+}
+
+void MetricsRegistry::set_counter(const std::string& name,
+                                  const std::string& labels,
+                                  std::uint64_t value,
+                                  const std::string& help) {
+  MetricSample& s = upsert(name, MetricType::kCounter, labels, help);
+  s.integral = true;
+  s.ivalue = value;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name,
+                                const std::string& labels, double value,
+                                const std::string& help) {
+  MetricSample& s = upsert(name, MetricType::kGauge, labels, help);
+  s.integral = false;
+  s.dvalue = value;
+}
+
+void MetricsRegistry::set_gauge_u64(const std::string& name,
+                                    const std::string& labels,
+                                    std::uint64_t value,
+                                    const std::string& help) {
+  MetricSample& s = upsert(name, MetricType::kGauge, labels, help);
+  s.integral = true;
+  s.ivalue = value;
+}
+
+void MetricsRegistry::set_histogram(const std::string& name,
+                                    const std::string& labels,
+                                    const Log2Histogram& hist,
+                                    const std::string& help) {
+  MetricSample& s = upsert(name, MetricType::kHistogram, labels, help);
+  s.hist = hist;
+}
+
+void MetricsRegistry::import_work(const std::string& prefix,
+                                  const WorkCounters& work,
+                                  const std::string& labels) {
+  set_counter(prefix + "_edges_visited_total", labels, work.edges_visited);
+  set_counter(prefix + "_vertices_visited_total", labels,
+              work.vertices_visited);
+  set_counter(prefix + "_cycles_found_total", labels, work.cycles_found);
+  set_counter(prefix + "_tasks_spawned_total", labels, work.tasks_spawned);
+  set_counter(prefix + "_state_copies_total", labels, work.state_copies);
+  set_counter(prefix + "_state_reuses_total", labels, work.state_reuses);
+  set_counter(prefix + "_unblock_operations_total", labels,
+              work.unblock_operations);
+  set_counter(prefix + "_late_edges_rejected_total", labels,
+              work.late_edges_rejected);
+  set_counter(prefix + "_graph_compactions_total", labels,
+              work.graph_compactions);
+}
+
+void MetricsRegistry::import_scheduler(const Scheduler& sched) {
+  const std::vector<WorkerStats> stats = sched.worker_stats();
+  const std::vector<TaskSlabStats> slabs = sched.slab_stats();
+  for (std::size_t w = 0; w < stats.size(); ++w) {
+    const std::string labels = worker_label(w);
+    set_counter("parcycle_worker_tasks_executed_total", labels,
+                stats[w].tasks_executed, "Tasks executed per worker");
+    set_counter("parcycle_worker_tasks_spawned_total", labels,
+                stats[w].tasks_spawned, "Tasks spawned per worker");
+    set_counter("parcycle_worker_tasks_stolen_total", labels,
+                stats[w].tasks_stolen, "Tasks acquired by stealing");
+    set_counter("parcycle_worker_tasks_heap_allocated_total", labels,
+                stats[w].tasks_heap_allocated,
+                "Spawns that bypassed the task slab");
+    set_counter("parcycle_worker_busy_ns_total", labels, stats[w].busy_ns,
+                "Busy wall time per worker (see TimingMode)");
+  }
+  for (std::size_t w = 0; w < slabs.size(); ++w) {
+    const std::string labels = worker_label(w);
+    set_counter("parcycle_worker_slab_acquires_total", labels,
+                slabs[w].acquires, "Task-slab blocks handed out");
+    set_counter("parcycle_worker_slab_local_releases_total", labels,
+                slabs[w].local_releases);
+    set_counter("parcycle_worker_slab_remote_releases_total", labels,
+                slabs[w].remote_releases);
+    set_counter("parcycle_worker_slab_remote_drains_total", labels,
+                slabs[w].remote_drains);
+    set_counter("parcycle_worker_slab_chunks_allocated_total", labels,
+                slabs[w].chunks_allocated);
+  }
+  // Per-task latency: populated only under TimingMode::kPerTask (the default
+  // transition timing deliberately never reads the clock per task).
+  Log2Histogram merged;
+  for (const Log2Histogram& h : sched.task_latency_histograms()) {
+    merged.merge(h);
+  }
+  set_histogram("parcycle_task_latency_ns", "", merged,
+                "Per-task execution latency (TimingMode::kPerTask only)");
+}
+
+void MetricsRegistry::import_stream(const StreamStats& stats) {
+  set_counter("parcycle_stream_edges_pushed_total", "", stats.edges_pushed,
+              "push() calls, incl. late-rejected and buffered");
+  set_counter("parcycle_stream_edges_ingested_total", "",
+              stats.edges_ingested, "Edges that reached the sliding graph");
+  set_counter("parcycle_stream_late_edges_rejected_total", "",
+              stats.late_edges_rejected,
+              "Arrivals dropped behind the reorder watermark");
+  set_gauge_u64("parcycle_stream_reorder_buffered", "",
+                stats.reorder_buffered, "Arrivals currently in reorder stage");
+  set_gauge_u64("parcycle_stream_reorder_peak_buffered", "",
+                stats.reorder_peak_buffered);
+  set_counter("parcycle_stream_cycles_found_total", "", stats.cycles_found,
+              "Cycles closed, summed across window lanes");
+  set_counter("parcycle_stream_batches_total", "", stats.batches,
+              "Micro-batches processed");
+  set_counter("parcycle_stream_escalated_edges_total", "",
+              stats.escalated_edges,
+              "Edges escalated to the fine-grained search");
+  set_counter("parcycle_stream_expired_edges_total", "", stats.expired_edges,
+              "Edges slid out of the retention window");
+  set_gauge_u64("parcycle_stream_live_edges", "", stats.live_edges,
+                "Edges currently in the sliding window");
+  set_gauge("parcycle_stream_busy_seconds_total", "", stats.busy_seconds,
+            "Wall time inside batch processing");
+  import_work("parcycle_stream_work", stats.work);
+  set_histogram("parcycle_stream_search_latency_ns", "", stats.latency,
+                "Per-edge search latency, all window lanes");
+  for (const StreamWindowStats& lane : stats.per_window) {
+    std::string labels = "window=\"";
+    append_u64(labels, static_cast<std::uint64_t>(lane.window));
+    labels += '"';
+    set_counter("parcycle_stream_lane_cycles_found_total", labels,
+                lane.cycles_found, "Cycles closed per window lane");
+    set_counter("parcycle_stream_lane_escalated_edges_total", labels,
+                lane.escalated_edges);
+    set_counter("parcycle_stream_lane_edges_visited_total", labels,
+                lane.work.edges_visited);
+    set_histogram("parcycle_stream_lane_search_latency_ns", labels,
+                  lane.latency, "Per-edge search latency per window lane");
+  }
+}
+
+std::optional<std::uint64_t> MetricsRegistry::value_u64(
+    const std::string& name, const std::string& labels) const {
+  for (const MetricFamily& family : families_) {
+    if (family.name != name) {
+      continue;
+    }
+    for (const MetricSample& sample : family.samples) {
+      if (sample.labels == labels && sample.integral) {
+        return sample.ivalue;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::string out;
+  out.reserve(1u << 14);
+  for (const MetricFamily& family : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + family.name + ' ' + family.help + '\n';
+    }
+    out += "# TYPE " + family.name + ' ';
+    switch (family.type) {
+      case MetricType::kCounter:
+        out += "counter";
+        break;
+      case MetricType::kGauge:
+        out += "gauge";
+        break;
+      case MetricType::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += '\n';
+    for (const MetricSample& sample : family.samples) {
+      if (family.type == MetricType::kHistogram) {
+        append_histogram(out, family.name, sample.labels, sample.hist);
+      } else {
+        append_sample_line(out, family.name, sample.labels, sample);
+      }
+    }
+  }
+  return out;
+}
+
+bool MetricsRegistry::write_text_file(const std::string& path,
+                                      std::string* error) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot open " + tmp + " for writing";
+      }
+      return false;
+    }
+    out << render_text();
+    out.flush();
+    if (!out) {
+      if (error != nullptr) {
+        *error = "write to " + tmp + " failed";
+      }
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + " failed";
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace parcycle

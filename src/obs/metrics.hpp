@@ -1,0 +1,91 @@
+// Unified named-metric surface over the repo's per-component counters.
+//
+// The scheduler (WorkerStats, TaskSlabStats, per-task latency histograms),
+// the stream engine (StreamStats incl. per-lane breakdowns), and raw
+// WorkCounters all import into one MetricsRegistry, which renders the
+// Prometheus text exposition format. Imports have SET semantics — each dump
+// clears and re-imports the live totals — so the registry is a snapshot, not
+// an accumulator, and its counter values always equal the source structs'
+// end-of-run totals exactly (fraud_detection cross-checks this).
+//
+// write_text_file publishes atomically (write to <path>.tmp, then rename),
+// so `watch cat metrics.txt` never observes a torn dump.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace parcycle {
+
+class Scheduler;
+struct StreamStats;
+struct WorkCounters;
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// One labelled sample within a family. `labels` is the rendered inner label
+// list (e.g. `worker="3"` or `window="1800"`), empty for unlabelled.
+struct MetricSample {
+  std::string labels;
+  bool integral = true;  // uint64 counters stay exact; doubles for seconds
+  std::uint64_t ivalue = 0;
+  double dvalue = 0.0;
+  Log2Histogram hist;  // kHistogram families only
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<MetricSample> samples;  // insertion order
+};
+
+class MetricsRegistry {
+ public:
+  void clear() { families_.clear(); }
+
+  void set_counter(const std::string& name, const std::string& labels,
+                   std::uint64_t value, const std::string& help = "");
+  void set_gauge(const std::string& name, const std::string& labels,
+                 double value, const std::string& help = "");
+  // Integral gauge (live_edges, reorder_buffered): rendered without a
+  // floating-point round trip.
+  void set_gauge_u64(const std::string& name, const std::string& labels,
+                     std::uint64_t value, const std::string& help = "");
+  void set_histogram(const std::string& name, const std::string& labels,
+                     const Log2Histogram& hist, const std::string& help = "");
+
+  // Importers: snapshot a component's live totals under the parcycle_*
+  // naming scheme. Re-importing replaces the previous snapshot's values.
+  void import_scheduler(const Scheduler& sched);
+  void import_stream(const StreamStats& stats);
+  void import_work(const std::string& prefix, const WorkCounters& work,
+                   const std::string& labels = "");
+
+  const std::vector<MetricFamily>& families() const noexcept {
+    return families_;
+  }
+
+  // Exact integral value of a counter/gauge sample, for cross-checking
+  // rendered output against source structs. nullopt if absent or non-integral.
+  std::optional<std::uint64_t> value_u64(const std::string& name,
+                                         const std::string& labels = "") const;
+
+  std::string render_text() const;
+  // Atomic publication: writes <path>.tmp, fsyncs the stream, renames over
+  // <path>. Returns false and fills *error on failure.
+  bool write_text_file(const std::string& path,
+                       std::string* error = nullptr) const;
+
+ private:
+  MetricSample& upsert(const std::string& name, MetricType type,
+                       const std::string& labels, const std::string& help);
+
+  std::vector<MetricFamily> families_;
+};
+
+}  // namespace parcycle

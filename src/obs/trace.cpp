@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace parcycle {
+
+const char* trace_name_str(TraceName name) noexcept {
+  switch (name) {
+    case TraceName::kWorkerBusy:
+      return "worker_busy";
+    case TraceName::kTask:
+      return "task";
+    case TraceName::kSteal:
+      return "steal";
+    case TraceName::kBatch:
+      return "batch";
+    case TraceName::kExpire:
+      return "expire";
+    case TraceName::kIngest:
+      return "ingest";
+    case TraceName::kEdgeSearch:
+      return "edge_search";
+    case TraceName::kSearchRoot:
+      return "search_root";
+    case TraceName::kEscalated:
+      return "escalated";
+    case TraceName::kPruned:
+      return "pruned";
+    case TraceName::kReorderBuffered:
+      return "reorder_buffered";
+    case TraceName::kLiveEdges:
+      return "live_edges";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(unsigned num_workers,
+                             std::size_t capacity_per_worker, bool enabled)
+    : enabled_(enabled), capacity_(std::max<std::size_t>(1, capacity_per_worker)) {
+  rings_.reserve(num_workers == 0 ? 1 : num_workers);
+  for (unsigned i = 0; i < std::max(1u, num_workers); ++i) {
+    rings_.push_back(std::make_unique<Ring>());
+    rings_.back()->buf.resize(capacity_);
+  }
+}
+
+std::uint64_t TraceRecorder::recorded(unsigned worker) const noexcept {
+  return rings_[worker]->count;
+}
+
+std::uint64_t TraceRecorder::dropped(unsigned worker) const noexcept {
+  const std::uint64_t count = rings_[worker]->count;
+  return count > capacity_ ? count - capacity_ : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events(unsigned worker) const {
+  const Ring& ring = *rings_[worker];
+  std::vector<TraceEvent> out;
+  if (ring.count <= capacity_) {
+    out.assign(ring.buf.begin(),
+               ring.buf.begin() + static_cast<std::ptrdiff_t>(ring.count));
+    return out;
+  }
+  // Wrapped: oldest retained event sits at the current write slot.
+  const auto start = static_cast<std::size_t>(ring.count % capacity_);
+  out.reserve(capacity_);
+  out.insert(out.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(start),
+             ring.buf.end());
+  out.insert(out.end(), ring.buf.begin(),
+             ring.buf.begin() + static_cast<std::ptrdiff_t>(start));
+  return out;
+}
+
+void TraceRecorder::clear() noexcept {
+  for (auto& ring : rings_) {
+    ring->count = 0;
+  }
+}
+
+}  // namespace parcycle

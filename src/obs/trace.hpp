@@ -1,0 +1,182 @@
+// Per-worker lock-free span recorder.
+//
+// One fixed-capacity ring of TraceEvents per worker, preallocated at
+// construction. The record path is owner-only: a worker writes exclusively
+// into its own cache-line-aligned ring, so tracing adds ZERO shared
+// cache-line traffic to the scheduler hot path — the only shared state is
+// the recorder pointer/flag itself, which is read-only while running.
+// When the ring is full the oldest events are overwritten: the trace always
+// holds the newest window of activity, which is the window an operator
+// attaching after an incident actually wants.
+//
+// Spans are self-contained (start + duration recorded together, at span
+// END), so wraparound can never orphan a begin without its end — the
+// exporter emits them as Chrome "X" complete events. A consequence worth
+// knowing when reading a ring: per-worker order is monotonic in span END
+// time, not start time; the exporter re-sorts per track by start.
+//
+// Readers (export, tests) must run while the traced pool is quiescent, the
+// same contract as Scheduler::worker_stats().
+//
+// A disabled recorder (or a null recorder pointer at the instrumentation
+// site — the usual production state) reduces every record call to one
+// predictable branch and allocates nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parcycle {
+
+// Fixed vocabulary of event names: the hot path stores one byte, the
+// exporter owns the strings. Extend here and in trace_name_str() together.
+enum class TraceName : std::uint8_t {
+  kWorkerBusy,       // scheduler: busy interval (kTransitions timing)
+  kTask,             // scheduler: one task body (kPerTask timing)
+  kSteal,            // scheduler: executed a task spawned by another worker
+  kBatch,            // stream: whole process_batch
+  kExpire,           // stream: window expiry phase
+  kIngest,           // stream: batch ingest phase
+  kEdgeSearch,       // stream: one per-edge search (all lanes)
+  kSearchRoot,       // fine enumerators: one search_root / closing edge
+  kEscalated,        // stream: edge escalated to the fine-grained search
+  kPruned,           // stream: reverse-BFS prune ran for an edge
+  kReorderBuffered,  // counter: reorder-stage watermark after a batch
+  kLiveEdges,        // counter: live window edges after a batch
+};
+
+const char* trace_name_str(TraceName name) noexcept;
+
+enum class TraceEventType : std::uint8_t {
+  kSpan,     // ts_ns..ts_ns+dur_ns
+  kInstant,  // point event, dur_ns == 0
+  kCounter,  // sampled value in `arg`
+};
+
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;  // event-specific payload (edge id, count, value)
+  TraceName name = TraceName::kWorkerBusy;
+  TraceEventType type = TraceEventType::kSpan;
+};
+
+// Steady-clock nanoseconds; same clock the scheduler's busy accounting and
+// WallTimer use, so spans from all three sources share one timeline.
+inline std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;  // per worker
+
+  explicit TraceRecorder(unsigned num_workers,
+                         std::size_t capacity_per_worker = kDefaultCapacity,
+                         bool enabled = true);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+  // Flip only while the traced pool is quiescent.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(rings_.size());
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // -- Record path (owner worker only) --------------------------------------
+
+  void record_span(unsigned worker, TraceName name, std::uint64_t start_ns,
+                   std::uint64_t end_ns, std::uint64_t arg = 0) noexcept {
+    if (!enabled_) {
+      return;
+    }
+    push(worker, TraceEvent{start_ns, end_ns > start_ns ? end_ns - start_ns : 0,
+                            arg, name, TraceEventType::kSpan});
+  }
+
+  void record_instant(unsigned worker, TraceName name, std::uint64_t ts_ns,
+                      std::uint64_t arg = 0) noexcept {
+    if (!enabled_) {
+      return;
+    }
+    push(worker, TraceEvent{ts_ns, 0, arg, name, TraceEventType::kInstant});
+  }
+
+  void record_counter(unsigned worker, TraceName name, std::uint64_t ts_ns,
+                      std::uint64_t value) noexcept {
+    if (!enabled_) {
+      return;
+    }
+    push(worker, TraceEvent{ts_ns, 0, value, name, TraceEventType::kCounter});
+  }
+
+  // -- Read path (pool quiescent) -------------------------------------------
+
+  // Total record calls on this worker's ring (retained + overwritten).
+  std::uint64_t recorded(unsigned worker) const noexcept;
+  // Events lost to wraparound: max(0, recorded - capacity).
+  std::uint64_t dropped(unsigned worker) const noexcept;
+  // Retained events, oldest first (insertion order).
+  std::vector<TraceEvent> events(unsigned worker) const;
+
+  void clear() noexcept;
+
+ private:
+  struct alignas(64) Ring {
+    std::vector<TraceEvent> buf;  // size == capacity_, never resized
+    std::uint64_t count = 0;      // monotone; write slot = count % capacity
+  };
+
+  void push(unsigned worker, const TraceEvent& event) noexcept {
+    Ring& ring = *rings_[worker];
+    ring.buf[static_cast<std::size_t>(ring.count % capacity_)] = event;
+    ring.count += 1;
+  }
+
+  bool enabled_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span covering a scope on one worker's ring. With a null recorder the
+// constructor and destructor reduce to one branch each and no clock reads.
+// The scope may execute nested TaskGroup::wait() calls: waiting never
+// migrates the task off its thread, so the worker id stays valid.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, unsigned worker, TraceName name,
+            std::uint64_t arg = 0) noexcept
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                             : nullptr),
+        worker_(worker),
+        name_(name),
+        arg_(arg),
+        start_ns_(recorder_ != nullptr ? trace_now_ns() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->record_span(worker_, name_, start_ns_, trace_now_ns(), arg_);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  unsigned worker_;
+  TraceName name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,160 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+namespace parcycle {
+
+namespace {
+
+const char* trace_category(TraceName name) noexcept {
+  switch (name) {
+    case TraceName::kWorkerBusy:
+    case TraceName::kTask:
+    case TraceName::kSteal:
+      return "sched";
+    case TraceName::kSearchRoot:
+      return "enum";
+    default:
+      return "stream";
+  }
+}
+
+// Microseconds with the nanosecond remainder as three fraction digits:
+// Chrome's ts/dur unit is microseconds, and truncating to whole micros
+// would collapse the sub-microsecond task spans the slab scheduler emits.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out,
+                        const std::string& process_name) {
+  const unsigned workers = recorder.num_workers();
+
+  // Rebase to the earliest retained timestamp so the viewer opens at ~0
+  // instead of hours of steady-clock uptime.
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::vector<TraceEvent>> per_worker(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    per_worker[w] = recorder.events(w);
+    for (const TraceEvent& e : per_worker[w]) {
+      t0 = std::min(t0, e.ts_ns);
+    }
+  }
+  if (t0 == std::numeric_limits<std::uint64_t>::max()) {
+    t0 = 0;
+  }
+
+  std::string body;
+  body.reserve(1u << 16);
+  body += "{\"traceEvents\":[\n";
+  body += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"";
+  body += process_name;
+  body += "\"}}";
+  for (unsigned w = 0; w < workers; ++w) {
+    body += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    append_u64(body, w);
+    body += ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker ";
+    append_u64(body, w);
+    body += "\"}}";
+  }
+
+  for (unsigned w = 0; w < workers; ++w) {
+    auto& events = per_worker[w];
+    // Rings hold spans in END-time order; tracks must be start-sorted. Ties
+    // put the longer (enclosing) span first so viewers nest them correctly.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                       return a.dur_ns > b.dur_ns;
+                     });
+    for (const TraceEvent& e : events) {
+      body += ",\n{\"ph\":\"";
+      switch (e.type) {
+        case TraceEventType::kSpan:
+          body += 'X';
+          break;
+        case TraceEventType::kInstant:
+          body += 'i';
+          break;
+        case TraceEventType::kCounter:
+          body += 'C';
+          break;
+      }
+      body += "\",\"pid\":1,\"tid\":";
+      append_u64(body, w);
+      body += ",\"name\":\"";
+      body += trace_name_str(e.name);
+      body += "\",\"cat\":\"";
+      body += trace_category(e.name);
+      body += "\",\"ts\":";
+      append_us(body, e.ts_ns - t0);
+      if (e.type == TraceEventType::kSpan) {
+        body += ",\"dur\":";
+        append_us(body, e.dur_ns);
+      }
+      if (e.type == TraceEventType::kInstant) {
+        body += ",\"s\":\"t\"";
+      }
+      body += ",\"args\":{\"";
+      body += e.type == TraceEventType::kCounter ? "value" : "arg";
+      body += "\":";
+      append_u64(body, e.arg);
+      body += "}}";
+    }
+  }
+  body += "\n]}\n";
+  out << body;
+}
+
+bool write_chrome_trace_file(const TraceRecorder& recorder,
+                             const std::string& path, std::string* error,
+                             const std::string& process_name) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  write_chrome_trace(recorder, out, process_name);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write to " + path + " failed";
+    }
+    return false;
+  }
+  return true;
+}
+
+ScopedTraceExport::~ScopedTraceExport() {
+  if (path_.empty()) {
+    return;
+  }
+  std::string error;
+  if (write_chrome_trace_file(recorder_, path_, &error, process_name_)) {
+    std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+  } else {
+    std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+  }
+}
+
+}  // namespace parcycle

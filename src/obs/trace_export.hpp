@@ -1,0 +1,55 @@
+// Chrome trace_event JSON exporter for TraceRecorder rings.
+//
+// Emits the JSON-object form ({"traceEvents": [...]}) understood by
+// chrome://tracing and Perfetto. Spans become "X" complete events (the ring
+// stores start+duration together, so wraparound never produces an orphaned
+// begin/end pair), instants become "i", counters "C", and one "M" metadata
+// event names the process and each worker track. Timestamps are rebased to
+// the earliest retained event and emitted in microseconds with nanosecond
+// fractions; events are sorted by start time within each (pid, tid) track,
+// which trace_summary.py validates in CI.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace parcycle {
+
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& out,
+                        const std::string& process_name = "parcycle");
+
+// Writes via a temporary + rename is unnecessary here (traces are written
+// once, after the run); this is a plain create-truncate-write. Returns false
+// and fills *error (if given) on I/O failure.
+bool write_chrome_trace_file(const TraceRecorder& recorder,
+                             const std::string& path,
+                             std::string* error = nullptr,
+                             const std::string& process_name = "parcycle");
+
+// Exports on scope exit. Declare BEFORE the Scheduler being traced: C++
+// destruction order then tears the pool down first, so every worker's ring
+// write happens-before the export (thread join gives the ordering) and the
+// read needs no synchronisation. An empty path makes the guard a no-op;
+// export failure warns on stderr rather than throwing from a destructor.
+class ScopedTraceExport {
+ public:
+  ScopedTraceExport(const TraceRecorder& recorder, std::string path,
+                    std::string process_name = "parcycle")
+      : recorder_(recorder),
+        path_(std::move(path)),
+        process_name_(std::move(process_name)) {}
+
+  ScopedTraceExport(const ScopedTraceExport&) = delete;
+  ScopedTraceExport& operator=(const ScopedTraceExport&) = delete;
+
+  ~ScopedTraceExport();
+
+ private:
+  const TraceRecorder& recorder_;
+  std::string path_;
+  std::string process_name_;
+};
+
+}  // namespace parcycle

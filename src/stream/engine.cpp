@@ -1,32 +1,15 @@
 #include "stream/engine.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace parcycle {
 
 namespace {
-
-// Percentile from a merged log2 histogram: upper bound of the bucket where
-// the cumulative count crosses q.
-std::uint64_t histogram_percentile(const std::uint64_t (&buckets)[64],
-                                   std::uint64_t total, double q) {
-  if (total == 0) {
-    return 0;
-  }
-  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
-  std::uint64_t seen = 0;
-  for (int b = 0; b < 64; ++b) {
-    seen += buckets[b];
-    if (seen > rank) {
-      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
-    }
-  }
-  return std::numeric_limits<std::uint64_t>::max();
-}
 
 // Canonical stream order — the order a batch TemporalGraph sorts its edges
 // into — so the reorder stage's releases keep streamed edge ids identical to
@@ -190,13 +173,24 @@ void StreamEngine::process_batch() {
   if (pending_.empty()) {
     return;
   }
-  WallTimer timer;
+  // process_batch runs on the scheduler-owning thread (worker 0); the trace
+  // rings are owner-written, so that is the track batch phases land on.
+  TraceRecorder* const tr = sched_.tracer();
+  const auto worker =
+      static_cast<unsigned>(std::max(0, Scheduler::current_worker_id()));
+  const std::uint64_t batch_edges = pending_.size();
+  const std::uint64_t expired_before = tr ? graph_.total_expired() : 0;
+  // One clock read at each phase boundary replaces the old WallTimer pair;
+  // without a tracer the extra boundaries are skipped entirely.
+  const std::uint64_t t_start = trace_now_ns();
   // Every search of this batch only needs edges with
   // ts >= closing.ts - retention >= batch_min_ts - retention.
   graph_.expire_before(pending_.front().ts - retention_);
+  const std::uint64_t t_expired = tr ? trace_now_ns() : 0;
   for (TemporalEdge& e : pending_) {
     e.id = graph_.ingest(e.src, e.dst, e.ts);
   }
+  const std::uint64_t t_ingested = tr ? trace_now_ns() : 0;
   TaskGroup group(sched_);
   for (const TemporalEdge& e : pending_) {
     group.spawn(EdgeSearchTask{this, e});
@@ -212,7 +206,19 @@ void StreamEngine::process_batch() {
     }
   }
   cycles_found_ = cycles;
-  busy_seconds_ += timer.elapsed_seconds();
+  const std::uint64_t t_end = trace_now_ns();
+  busy_seconds_ += static_cast<double>(t_end - t_start) * 1e-9;
+  if (tr != nullptr) {
+    tr->record_span(worker, TraceName::kExpire, t_start, t_expired,
+                    graph_.total_expired() - expired_before);
+    tr->record_span(worker, TraceName::kIngest, t_expired, t_ingested,
+                    batch_edges);
+    tr->record_span(worker, TraceName::kBatch, t_start, t_end, batch_edges);
+    tr->record_counter(worker, TraceName::kReorderBuffered, t_end,
+                       reorder_heap_.size());
+    tr->record_counter(worker, TraceName::kLiveEdges, t_end,
+                       graph_.live_edges());
+  }
 }
 
 void StreamEngine::search_edge(const TemporalEdge& edge) {
@@ -226,11 +232,14 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
   popts.spawn_policy = options_.spawn_policy;
   popts.spawn_queue_threshold = options_.spawn_queue_threshold;
 
+  TraceRecorder* const tr = sched_.tracer();
+  const auto wid = static_cast<unsigned>(worker);
   auto scratch = scratch_pool_.acquire();
+  std::uint64_t t_lane = trace_now_ns();
+  const std::uint64_t edge_start = t_lane;  // for the whole-edge span
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
     const Timestamp delta = deltas_[lane];
     LaneCounters& counters = sink.lanes[lane];
-    WallTimer timer;
     const std::size_t frontier =
         edge.src == edge.dst
             ? 0
@@ -247,6 +256,16 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
     // deterministic across schedules and thread counts, per lane.
     eopts.use_cycle_union = options_.use_reach_prune &&
                             frontier >= options_.prune_frontier_threshold;
+    if (tr != nullptr) {
+      // Decision instants reuse the lane's start timestamp: tracing the
+      // escalate/prune verdicts costs no clock reads.
+      if (hot) {
+        tr->record_instant(wid, TraceName::kEscalated, t_lane, edge.id);
+      }
+      if (eopts.use_cycle_union) {
+        tr->record_instant(wid, TraceName::kPruned, t_lane, edge.id);
+      }
+    }
     std::uint64_t found = 0;
     if (hot) {
       counters.escalated += 1;
@@ -258,11 +277,12 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
                                     counters.work, lane_sinks_[lane]);
     }
     counters.cycles += found;
-    const std::uint64_t ns = timer.elapsed_ns();
-    // bit_width(ns) is 0..64; the top bucket absorbs the (never observed in
-    // practice) >= 2^63 ns tail.
-    counters.latency_buckets[std::min<int>(std::bit_width(ns), 63)] += 1;
-    counters.latency_max_ns = std::max(counters.latency_max_ns, ns);
+    const std::uint64_t t_done = trace_now_ns();
+    counters.latency.record(t_done - t_lane);
+    t_lane = t_done;  // next lane starts where this one ended: no extra read
+  }
+  if (tr != nullptr && t_lane - edge_start >= options_.trace_search_threshold_ns) {
+    tr->record_span(wid, TraceName::kEdgeSearch, edge_start, t_lane, edge.id);
   }
   scratch_pool_.release(std::move(scratch));
 }
@@ -279,37 +299,29 @@ StreamStats StreamEngine::stats() const {
   stats.live_edges = graph_.live_edges();
   stats.busy_seconds = busy_seconds_;
 
-  std::uint64_t all_buckets[64] = {};
-  std::uint64_t all_searches = 0;
   stats.per_window.resize(deltas_.size());
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
     StreamWindowStats& ws = stats.per_window[lane];
     ws.window = deltas_[lane];
-    std::uint64_t buckets[64] = {};
-    std::uint64_t searches = 0;
     for (const auto& sink : sinks_) {
       const LaneCounters& counters = sink->lanes[lane];
       ws.cycles_found += counters.cycles;
       ws.escalated_edges += counters.escalated;
       ws.work += counters.work;
-      ws.latency_max_ns = std::max(ws.latency_max_ns, counters.latency_max_ns);
-      for (int b = 0; b < 64; ++b) {
-        buckets[b] += counters.latency_buckets[b];
-        all_buckets[b] += counters.latency_buckets[b];
-        searches += counters.latency_buckets[b];
-      }
+      ws.latency.merge(counters.latency);
     }
-    all_searches += searches;
-    ws.latency_p50_ns = histogram_percentile(buckets, searches, 0.50);
-    ws.latency_p99_ns = histogram_percentile(buckets, searches, 0.99);
+    ws.latency_p50_ns = ws.latency.percentile(0.50);
+    ws.latency_p99_ns = ws.latency.percentile(0.99);
+    ws.latency_max_ns = ws.latency.max;
 
     stats.cycles_found += ws.cycles_found;
     stats.escalated_edges += ws.escalated_edges;
     stats.work += ws.work;
-    stats.latency_max_ns = std::max(stats.latency_max_ns, ws.latency_max_ns);
+    stats.latency.merge(ws.latency);
   }
-  stats.latency_p50_ns = histogram_percentile(all_buckets, all_searches, 0.50);
-  stats.latency_p99_ns = histogram_percentile(all_buckets, all_searches, 0.99);
+  stats.latency_p50_ns = stats.latency.percentile(0.50);
+  stats.latency_p99_ns = stats.latency.percentile(0.99);
+  stats.latency_max_ns = stats.latency.max;
   // Ingest-side pressure counters ride the aggregate WorkCounters so every
   // consumer of `work` (bench columns, CLI) sees them without new plumbing.
   stats.work.late_edges_rejected += late_rejected_;

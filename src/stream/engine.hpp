@@ -68,6 +68,7 @@
 #include "core/cycle_types.hpp"
 #include "core/johnson_state.hpp"  // ScratchPool
 #include "core/options.hpp"
+#include "obs/histogram.hpp"
 #include "stream/incremental.hpp"
 #include "stream/sliding_window_graph.hpp"
 #include "support/scheduler.hpp"
@@ -112,6 +113,11 @@ struct StreamOptions {
   std::int64_t spawn_queue_threshold = 8;
   // Initial vertex capacity hint for the sliding graph.
   VertexId num_vertices_hint = 0;
+  // With a TraceRecorder attached to the scheduler, record a per-edge
+  // search span only when the search (all lanes) took at least this long —
+  // keeps hot traces from flooding the rings with sub-microsecond searches.
+  // 0 records every search. Ignored (and cost-free) without a tracer.
+  std::uint64_t trace_search_threshold_ns = 0;
 };
 
 // Per-window-lane statistics; see StreamStats::per_window.
@@ -123,6 +129,9 @@ struct StreamWindowStats {
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
   std::uint64_t latency_max_ns = 0;
+  // The merged per-edge search latency histogram the percentiles above are
+  // computed from (obs/metrics.hpp renders it as a Prometheus histogram).
+  Log2Histogram latency;
 };
 
 // Aggregate engine statistics; see StreamEngine::stats(). The scalar fields
@@ -158,6 +167,8 @@ struct StreamStats {
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p99_ns = 0;
   std::uint64_t latency_max_ns = 0;
+  // Merged across all lanes; source of the aggregate percentiles above.
+  Log2Histogram latency;
   // One entry per configured window lane, in StreamOptions order.
   std::vector<StreamWindowStats> per_window;
 };
@@ -236,9 +247,8 @@ class StreamEngine {
     WorkCounters work;
     std::uint64_t cycles = 0;
     std::uint64_t escalated = 0;
-    // latency_buckets[b] counts searches with bit_width(ns) == b.
-    std::uint64_t latency_buckets[64] = {};
-    std::uint64_t latency_max_ns = 0;
+    // Per-edge search wall times (log2 buckets, bit_width(ns) indexing).
+    Log2Histogram latency;
   };
 
   struct alignas(64) WorkerSink {

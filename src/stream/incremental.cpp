@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/johnson_impl.hpp"  // detail::kUnboundedRem / child_rem
+#include "obs/trace.hpp"
 
 namespace parcycle {
 
@@ -367,6 +368,11 @@ std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
     return settled;
   }
   const StreamSearchParams& params = prepared->params;
+  // The escalated search gets its own root span nested inside the engine's
+  // edge_search span: the gap between the two is the prepare/prune cost.
+  TraceSpan trace(sched.tracer(),
+                  static_cast<unsigned>(Scheduler::current_worker_id()),
+                  TraceName::kSearchRoot, closing.id);
   FineStreamRun run{params, sched, popts, sink};
   std::vector<VertexId> vertices{closing.dst};
   std::vector<EdgeId> edges;

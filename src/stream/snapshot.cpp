@@ -39,7 +39,10 @@ static_assert(std::endian::native == std::endian::little,
               "stream snapshot IO assumes a little-endian target");
 
 constexpr char kMagic[4] = {'P', 'S', 'E', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: lane latency histograms gained a raw-value sum (obs/histogram.hpp's
+// Log2Histogram replaced the inline bucket array). v1 snapshots are
+// rejected; the engine state they carry predates the histogram refactor.
+constexpr std::uint32_t kVersion = 2;
 // Upper bound on a plausible payload: rejects absurd sizes from a corrupt
 // header before we try to allocate them.
 constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 33;
@@ -180,18 +183,16 @@ void StreamEngine::save_snapshot(std::ostream& out) const {
       merged.work += c.work;
       merged.cycles += c.cycles;
       merged.escalated += c.escalated;
-      for (int b = 0; b < 64; ++b) {
-        merged.latency_buckets[b] += c.latency_buckets[b];
-      }
-      merged.latency_max_ns = std::max(merged.latency_max_ns, c.latency_max_ns);
+      merged.latency.merge(c.latency);
     }
     write_work_counters(w, merged.work);
     w.scalar(merged.cycles);
     w.scalar(merged.escalated);
-    for (int b = 0; b < 64; ++b) {
-      w.scalar(merged.latency_buckets[b]);
+    for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+      w.scalar(merged.latency.buckets[b]);
     }
-    w.scalar(merged.latency_max_ns);
+    w.scalar(merged.latency.sum);
+    w.scalar(merged.latency.max);
   }
 
   // [graph]
@@ -310,10 +311,11 @@ void StreamEngine::restore_snapshot(std::istream& in) {
     c.work = read_work_counters(r);
     c.cycles = r.scalar<std::uint64_t>("lane counters");
     c.escalated = r.scalar<std::uint64_t>("lane counters");
-    for (int b = 0; b < 64; ++b) {
-      c.latency_buckets[b] = r.scalar<std::uint64_t>("lane counters");
+    for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+      c.latency.buckets[b] = r.scalar<std::uint64_t>("lane counters");
     }
-    c.latency_max_ns = r.scalar<std::uint64_t>("lane counters");
+    c.latency.sum = r.scalar<std::uint64_t>("lane counters");
+    c.latency.max = r.scalar<std::uint64_t>("lane counters");
   }
 
   // [graph]

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "support/prng.hpp"
 #include "support/tsan.hpp"
 
@@ -116,10 +117,16 @@ void Scheduler::begin_busy(WorkerSlot& slot) {
 void Scheduler::note_idle(unsigned worker_id) {
   WorkerSlot& slot = *slots_[worker_id];
   if (slot.busy_open.load(std::memory_order_relaxed)) {
-    slot.busy_ns.fetch_add(
-        now_ns() - slot.busy_since_ns.load(std::memory_order_relaxed),
-        std::memory_order_relaxed);
+    const std::uint64_t now = now_ns();
+    const std::uint64_t since =
+        slot.busy_since_ns.load(std::memory_order_relaxed);
+    slot.busy_ns.fetch_add(now - since, std::memory_order_relaxed);
     slot.busy_open.store(false, std::memory_order_relaxed);
+    // The busy span reuses the two timestamps this transition already took:
+    // tracing in kTransitions mode adds no clock reads.
+    if (TraceRecorder* tr = tracer_.load(std::memory_order_acquire)) {
+      tr->record_span(worker_id, TraceName::kWorkerBusy, since, now);
+    }
   }
 }
 
@@ -155,6 +162,12 @@ void Scheduler::execute(detail::TaskBase* task, unsigned worker_id) {
   slot.task_depth += 1;
   const bool per_task_timing = options_.timing == TimingMode::kPerTask;
   const std::uint64_t t0 = per_task_timing ? now_ns() : 0;
+  TraceRecorder* const tr = tracer_.load(std::memory_order_acquire);
+  if (tr != nullptr && creator != worker_id) {
+    // One extra clock read per STEAL (rare by design), never per task.
+    tr->record_instant(worker_id, TraceName::kSteal,
+                       per_task_timing ? t0 : trace_now_ns(), creator);
+  }
   try {
     task->run();
   } catch (...) {
@@ -162,7 +175,12 @@ void Scheduler::execute(detail::TaskBase* task, unsigned worker_id) {
   }
   slot.task_depth -= 1;
   if (per_task_timing) {
-    slot.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    const std::uint64_t t1 = now_ns();
+    slot.busy_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+    slot.task_hist.record(t1 - t0);
+    if (tr != nullptr) {
+      tr->record_span(worker_id, TraceName::kTask, t0, t1, creator);
+    }
   }
   if (from_slab) {
     task->~TaskBase();
@@ -287,6 +305,7 @@ void Scheduler::reset_stats() {
   for (auto& slot : slots_) {
     slot->stats = WorkerStats{};
     slot->busy_ns.store(0, std::memory_order_relaxed);
+    slot->task_hist.clear();
     // A worker saturated through the end of the previous run may still have
     // its busy interval open (it closes at the next failed find). Rebase the
     // interval's start so the eventual note_idle folds only post-reset time
@@ -297,6 +316,15 @@ void Scheduler::reset_stats() {
       slot->busy_since_ns.store(now, std::memory_order_relaxed);
     }
   }
+}
+
+std::vector<Log2Histogram> Scheduler::task_latency_histograms() const {
+  std::vector<Log2Histogram> out;
+  out.reserve(num_workers_);
+  for (const auto& slot : slots_) {
+    out.push_back(slot->task_hist);
+  }
+  return out;
 }
 
 std::vector<TaskSlabStats> Scheduler::slab_stats() const {

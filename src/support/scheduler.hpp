@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "support/chase_lev_deque.hpp"
 #include "support/spinlock.hpp"
 #include "support/task_slab.hpp"
@@ -42,6 +43,7 @@ namespace parcycle {
 
 class Scheduler;
 class TaskGroup;
+class TraceRecorder;
 
 namespace detail {
 
@@ -142,8 +144,36 @@ class Scheduler {
     return std::forward<Fn>(fn)(sched);
   }
 
+  // Options-carrying variant (e.g. TimingMode::kPerTask for per-task trace
+  // spans without a long-lived named Scheduler).
+  template <typename Fn>
+  static auto with_pool(unsigned num_threads, SchedulerOptions options,
+                        Fn&& fn) {
+    Scheduler sched(num_threads, options);
+    return std::forward<Fn>(fn)(sched);
+  }
+
+  // Attach/detach a span recorder (obs/trace.hpp). Busy intervals, steals,
+  // and (under TimingMode::kPerTask) per-task spans land in the recorder's
+  // per-worker rings, reusing the clock reads the timing mode already pays
+  // for — attaching a tracer adds no extra clock reads in kTransitions mode.
+  // The recorder must outlive the scheduler (the destructor records worker
+  // 0's final busy span). nullptr detaches; a null tracer costs one
+  // predictable branch per timing transition.
+  void set_tracer(TraceRecorder* tracer) noexcept {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  TraceRecorder* tracer() const noexcept {
+    return tracer_.load(std::memory_order_acquire);
+  }
+
   std::vector<WorkerStats> worker_stats() const;
   void reset_stats();
+
+  // Per-worker per-task latency histograms; populated only under
+  // TimingMode::kPerTask (transition timing never reads the clock per task).
+  // Read while quiescent, like worker_stats().
+  std::vector<Log2Histogram> task_latency_histograms() const;
 
   // Per-worker task-slab counters (read while quiescent, like worker_stats).
   std::vector<TaskSlabStats> slab_stats() const;
@@ -176,6 +206,8 @@ class Scheduler {
     // inside tasks in the fine-grained enumerators; only the outermost wait
     // returns to sequential code). Worker-private.
     std::uint32_t task_depth = 0;
+    // Per-task latencies under TimingMode::kPerTask. Worker-private.
+    Log2Histogram task_hist;
   };
 
   void worker_main(unsigned worker_id);
@@ -207,6 +239,7 @@ class Scheduler {
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> threads_;
 
+  std::atomic<TraceRecorder*> tracer_{nullptr};
   std::atomic<bool> shutdown_{false};
   std::atomic<int> num_sleepers_{0};
   std::atomic<std::uint64_t> wake_epoch_{0};

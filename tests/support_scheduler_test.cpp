@@ -9,6 +9,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 namespace parcycle {
@@ -338,6 +339,71 @@ TEST(Scheduler, SlabCanBeDisabledForComparison) {
   }
   EXPECT_EQ(heap_tasks, 100u);
   EXPECT_EQ(slab_acquires, 0u);
+}
+
+TEST(Scheduler, ResetStatsZeroesCountersBetweenPhases) {
+  // Per-phase measurement pattern: run, read, reset, run again — the second
+  // read must only cover the second phase. Slab stats are deliberately NOT
+  // reset: chunks_allocated tracks live memory, not per-phase work.
+  Scheduler sched(4, SchedulerOptions{.timing = TimingMode::kPerTask});
+  static constexpr int kTasks = 500;
+  const auto run_phase = [&sched] {
+    std::atomic<int> counter{0};
+    TaskGroup group(sched);
+    for (int i = 0; i < kTasks; ++i) {
+      group.spawn([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    group.wait();
+    ASSERT_EQ(counter.load(), kTasks);
+  };
+  const auto totals = [&sched] {
+    std::uint64_t executed = 0;
+    std::uint64_t spawned = 0;
+    std::uint64_t busy = 0;
+    for (const auto& s : sched.worker_stats()) {
+      executed += s.tasks_executed;
+      spawned += s.tasks_spawned;
+      busy += s.busy_ns;
+    }
+    return std::tuple{executed, spawned, busy};
+  };
+
+  run_phase();
+  auto [executed1, spawned1, busy1] = totals();
+  EXPECT_EQ(executed1, static_cast<std::uint64_t>(kTasks));
+  EXPECT_GT(busy1, 0u);
+  std::uint64_t hist_count1 = 0;
+  for (const auto& hist : sched.task_latency_histograms()) {
+    hist_count1 += hist.count();
+  }
+  EXPECT_EQ(hist_count1, static_cast<std::uint64_t>(kTasks));
+  const auto slabs_before = sched.slab_stats();
+
+  sched.reset_stats();
+  auto [executed0, spawned0, busy0] = totals();
+  EXPECT_EQ(executed0, 0u);
+  EXPECT_EQ(spawned0, 0u);
+  EXPECT_EQ(busy0, 0u);
+  for (const auto& hist : sched.task_latency_histograms()) {
+    EXPECT_TRUE(hist.empty());
+  }
+  // Slab accounting survives the reset.
+  const auto slabs_after = sched.slab_stats();
+  ASSERT_EQ(slabs_after.size(), slabs_before.size());
+  for (std::size_t w = 0; w < slabs_after.size(); ++w) {
+    EXPECT_EQ(slabs_after[w].acquires, slabs_before[w].acquires);
+    EXPECT_EQ(slabs_after[w].chunks_allocated,
+              slabs_before[w].chunks_allocated);
+  }
+
+  // The second phase counts only itself.
+  run_phase();
+  auto [executed2, spawned2, busy2] = totals();
+  EXPECT_EQ(executed2, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(spawned2, static_cast<std::uint64_t>(kTasks));
+  EXPECT_GT(busy2, 0u);
 }
 
 TEST(Scheduler, ManySmallGroupsSequentially) {

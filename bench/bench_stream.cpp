@@ -436,6 +436,11 @@ int main(int argc, char** argv) {
         json->kv("late_edges_rejected", stats.late_edges_rejected);
         json->kv("reorder_peak_buffered", stats.reorder_peak_buffered);
         json->kv("graph_compactions", stats.work.graph_compactions);
+        // Robustness counters: always emitted so baselines pin them at
+        // exactly zero — a bench replay never degrades, and the diff script
+        // fails loudly if one ever does.
+        json->kv("searches_truncated", stats.work.searches_truncated);
+        json->kv("edges_shed", stats.edges_shed);
         json->kv("latency_p50_ns", stats.latency_p50_ns);
         json->kv("latency_p99_ns", stats.latency_p99_ns);
         json->kv("latency_max_ns", stats.latency_max_ns);

@@ -21,17 +21,29 @@
 // paper's motivating application.
 //
 // The monitor is restartable: --snapshot <path> persists the engine state
-// every --snapshot-every transfers (default 2000) and at completion, and a
-// SIGTERM mid-feed finishes the in-flight transfer, writes a final snapshot
-// and exits with status 3. --restore <path> resumes a killed monitor from
-// its snapshot — no replay of already-processed transfers — and the combined
-// alert total must still equal the uninterrupted batch scan (CI kills and
-// resumes the monitor to assert exactly that). --feed-delay-us throttles the
-// feed so a signal reliably lands mid-stream.
+// every --snapshot-every transfers (default 2000) and at completion, using
+// two rotated generations (<path>.1/<path>.2) behind a last-good pointer
+// file at <path>, and a SIGTERM or SIGINT mid-feed finishes the in-flight
+// transfer, writes a final snapshot and exits with status 3. --restore
+// <path> resumes a killed monitor from its snapshot — no replay of
+// already-processed transfers, falling back to the previous generation when
+// the latest one is corrupt — and the combined alert total must still equal
+// the uninterrupted batch scan (CI kills and resumes the monitor to assert
+// exactly that). --feed-delay-us throttles the feed so a signal reliably
+// lands mid-stream.
+//
+// --inject arms the deterministic fault injector (robust/fault_injection.hpp)
+// for chaos runs: e.g. --inject "sink_throw:every=3;snapshot_bitflip:every=1"
+// makes every third alert delivery throw downstream and corrupts every
+// snapshot data file as it is written. Injection also switches the alert
+// sink behind the GuardedSink isolation layer and relaxes the final
+// stream-vs-batch equality into a conservation check (pushed == ingested +
+// late + shed), since shed or truncated work legitimately loses rings.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -48,6 +60,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/snapshot_rotation.hpp"
 #include "stream/engine.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
@@ -93,11 +107,14 @@ class AlertSink final : public parcycle::CycleSink {
   std::uint64_t alerts_ = 0;
 };
 
-// SIGTERM requests a graceful monitor shutdown: finish the in-flight
-// transfer, persist a snapshot, exit 3.
+// SIGTERM and SIGINT both request a graceful monitor shutdown: finish the
+// in-flight transfer, persist a snapshot, exit 3. Treating Ctrl-C the same
+// as a supervisor TERM means an interactive kill never loses the window.
 std::atomic<bool> g_terminate{false};
 
-void handle_sigterm(int) { g_terminate.store(true, std::memory_order_relaxed); }
+void handle_shutdown_signal(int) {
+  g_terminate.store(true, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -110,6 +127,7 @@ int main(int argc, char** argv) {
                      "[--restore <path>] [--feed-delay-us U]\n"
                      "  [--trace-out <file>] [--metrics-out <file>] "
                      "[--metrics-every N]\n"
+                     "  [--inject <spec>] [--overload-high N]\n"
                      "Finds temporal cycles plus hop-constrained (<= max_hops "
                      "edges, order-agnostic) rings in a synthetic payment "
                      "network (defaults: 2000 accounts, 20000 transfers, 4 "
@@ -117,15 +135,33 @@ int main(int argc, char** argv) {
                      "a live stream through the incremental engine,\nraising "
                      "per-ring alerts the moment they close.\n--snapshot "
                      "persists the monitor's engine state every N transfers "
-                     "(default 2000) and on SIGTERM\n(exit 3); --restore "
-                     "resumes a killed monitor without replaying processed "
-                     "transfers;\n--feed-delay-us throttles the feed so a "
-                     "signal lands mid-stream.\n--trace-out writes a Chrome "
+                     "(default 2000) and on\nSIGTERM/SIGINT (exit 3), as two "
+                     "rotated generations (<path>.1/.2) behind a\nlast-good "
+                     "pointer file at <path>; --restore resumes a killed "
+                     "monitor without\nreplaying processed transfers, falling "
+                     "back to the previous generation when the\nlatest is "
+                     "corrupt; --feed-delay-us throttles the feed so a signal "
+                     "lands mid-stream.\n--trace-out writes a Chrome "
                      "trace_event JSON of the whole run (load in "
                      "Perfetto);\n--metrics-out publishes a Prometheus-style "
                      "metrics snapshot every --metrics-every\ntransfers "
                      "(default 2000) during the monitor feed, atomically "
-                     "renamed per dump.\n")) {
+                     "renamed per dump.\n--inject arms deterministic fault "
+                     "injection, e.g.\n  --inject \"sink_throw:every=3;"
+                     "snapshot_bitflip:every=1;feed_stall:every=500,"
+                     "param=2000\"\n(points: slab_grow sink_throw sink_delay "
+                     "snapshot_truncate snapshot_bitflip\nfeed_stall "
+                     "feed_burst; keys: every/after/limit/param/prob). "
+                     "--overload-high sets the\nbuffered-arrival watermark "
+                     "where the engine's overload ladder starts degrading."
+                     "\n\nexit codes:\n"
+                     "  0  success (monitor total matches the batch scan, or "
+                     "conservation holds\n     under injection)\n"
+                     "  1  runtime failure: monitor/batch mismatch, metrics "
+                     "drift, restore or IO error\n"
+                     "  2  invalid arguments (bad sizes or --inject spec)\n"
+                     "  3  graceful shutdown: SIGTERM/SIGINT received, final "
+                     "snapshot written\n")) {
     return 0;
   }
 
@@ -137,6 +173,8 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_every = 2000;
   std::uint64_t metrics_every = 2000;
   long feed_delay_us = 0;
+  std::string inject_spec;
+  std::size_t overload_high = SIZE_MAX;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--monitor") == 0) {
@@ -155,9 +193,25 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
       metrics_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+      inject_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--overload-high") == 0 && i + 1 < argc) {
+      overload_high = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  // Armed before anything else so every named point in the run — slab
+  // growth, sink delivery, snapshot writes, the feed loop — sees it. Static
+  // storage: the injector must outlive the engine and the scheduler.
+  static FaultInjector injector(/*seed=*/2024);
+  if (!inject_spec.empty()) {
+    std::string inject_error;
+    if (!injector.arm_from_spec(inject_spec, &inject_error)) {
+      std::cerr << "invalid --inject spec: " << inject_error << "\n";
+      return 2;
+    }
+    FaultInjector::install(&injector);
   }
   // Parse signed first so negative inputs are rejected instead of wrapping
   // through the unsigned graph-size types.
@@ -271,10 +325,16 @@ int main(int argc, char** argv) {
                "(window 48h, rings <= " << options.max_cycle_length
             << " hops) ===\n";
   AlertSink alerts(payments, /*max_printed=*/5);
+  const bool injecting = !inject_spec.empty();
   StreamOptions stream_options;
   stream_options.window = window;
   stream_options.max_cycle_length = options.max_cycle_length;
   stream_options.num_vertices_hint = payments.num_vertices();
+  stream_options.overload_high_watermark = overload_high;
+  // A chaos run isolates the alert sink behind the guarded hand-off so an
+  // injected sink fault costs alerts, never the engine; plain runs keep the
+  // direct synchronous path (and its exact legacy totals).
+  stream_options.guard_sinks = injecting;
   StreamEngine engine(stream_options, sched, &alerts);
   // Live metrics publication: each dump clears and re-imports the engine's
   // and scheduler's current totals, rendered to Prometheus text and
@@ -298,36 +358,53 @@ int main(int argc, char** argv) {
   WallTimer feed_timer;
   try {
     if (!restore_path.empty()) {
-      engine.restore_snapshot_file(restore_path);
+      const RotatedSnapshotInfo restored =
+          restore_snapshot_rotated(engine, restore_path);
       resume_at = engine.edges_pushed();
-      std::cout << "monitor: restored " << restore_path
-                << ", resuming at transfer " << resume_at << " ("
+      std::cout << "monitor: restored " << restored.path
+                << " (generation " << restored.generation
+                << "), resuming at transfer " << resume_at << " ("
                 << engine.cycles_found() << " rings already detected)\n";
     }
     if (!snapshot_path.empty()) {
-      std::signal(SIGTERM, handle_sigterm);
+      std::signal(SIGTERM, handle_shutdown_signal);
+      std::signal(SIGINT, handle_shutdown_signal);
     }
     feed_timer.reset();
     const auto feed = payments.edges_by_time();
+    std::uint64_t burst_remaining = 0;
     for (std::uint64_t i = resume_at; i < feed.size(); ++i) {
       const auto& transfer = feed[i];
       engine.push(transfer.src, transfer.dst, transfer.ts);
-      if (feed_delay_us > 0) {
+      // Feed-shape faults: a stall freezes the producer for `param`
+      // microseconds; a burst delivers the next `param` transfers
+      // back-to-back, ignoring the configured pacing — the arrival patterns
+      // the overload ladder exists to absorb.
+      std::uint64_t fault_param = 0;
+      if (FaultInjector::should_fire(FaultPoint::kFeedStall, &fault_param)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(fault_param));
+      }
+      if (FaultInjector::should_fire(FaultPoint::kFeedBurst, &fault_param)) {
+        burst_remaining = fault_param;
+      }
+      if (burst_remaining > 0) {
+        burst_remaining -= 1;
+      } else if (feed_delay_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(feed_delay_us));
       }
       if (!snapshot_path.empty() && snapshot_every > 0 &&
           engine.edges_pushed() % snapshot_every == 0) {
-        engine.save_snapshot_file(snapshot_path);
+        save_snapshot_rotated(engine, snapshot_path);
       }
       if (!metrics_path.empty() && metrics_every > 0 &&
           engine.edges_pushed() % metrics_every == 0) {
         dump_metrics();
       }
       if (g_terminate.load(std::memory_order_relaxed)) {
-        engine.save_snapshot_file(snapshot_path);
-        std::cout << "monitor: SIGTERM after " << engine.edges_pushed()
-                  << " transfers; snapshot written to " << snapshot_path
-                  << "\n";
+        const RotatedSnapshotInfo saved =
+            save_snapshot_rotated(engine, snapshot_path);
+        std::cout << "monitor: shutdown signal after " << engine.edges_pushed()
+                  << " transfers; snapshot written to " << saved.path << "\n";
         return 3;
       }
     }
@@ -335,7 +412,7 @@ int main(int argc, char** argv) {
     if (!snapshot_path.empty()) {
       // Final snapshot: a restart after completion resumes to a no-op feed,
       // and a TERM that raced the last transfers still finds current state.
-      engine.save_snapshot_file(snapshot_path);
+      save_snapshot_rotated(engine, snapshot_path);
     }
   } catch (const std::exception& error) {
     std::cerr << "monitor error: " << error.what() << "\n";
@@ -398,6 +475,40 @@ int main(int argc, char** argv) {
     }
     std::cout << "monitor: metrics cross-check ok; snapshot written to "
               << metrics_path << "\n";
+  }
+  if (injecting) {
+    // Shed arrivals and budget-truncated searches legitimately lose rings, so
+    // a chaos run cannot demand stream == batch. What it CAN demand: every
+    // arrival is accounted for (pushed = ingested + late + shed), the engine
+    // never over-reports, and every degradation left a counter trail.
+    const std::uint64_t shed = stream_stats.edges_shed;
+    const std::uint64_t late = stream_stats.late_edges_rejected;
+    const bool conserved = stream_stats.edges_pushed ==
+                           stream_stats.edges_ingested + late + shed;
+    const bool no_overcount = stream_stats.cycles_found <= result.num_cycles;
+    const bool losses_explained =
+        stream_stats.cycles_found == result.num_cycles || shed > 0 ||
+        stream_stats.work.searches_truncated > 0 ||
+        stream_stats.search_errors > 0;
+    std::cout << "monitor (chaos): " << shed << " shed, " << late << " late, "
+              << stream_stats.work.searches_truncated << " truncated, "
+              << stream_stats.search_errors << " search errors, "
+              << stream_stats.sink_errors << " sink errors, "
+              << stream_stats.sink_dropped << " sink drops, "
+              << stream_stats.overload_shifts << " overload shifts (level "
+              << overload_level_name(stream_stats.overload_level) << ")\n";
+    if (conserved && no_overcount && losses_explained) {
+      std::cout << "monitor total is conserved under injected faults ("
+                << stream_stats.cycles_found << "/" << result.num_cycles
+                << " rings).\n";
+      return 0;
+    }
+    std::cerr << "MONITOR MISMATCH under injection: conserved=" << conserved
+              << " no_overcount=" << no_overcount
+              << " losses_explained=" << losses_explained << " (stream "
+              << stream_stats.cycles_found << " vs batch "
+              << result.num_cycles << ")\n";
+    return 1;
   }
   if (stream_stats.cycles_found == result.num_cycles) {
     std::cout << "monitor total matches the batch temporal scan.\n";

@@ -176,6 +176,22 @@ def diff_stream(base, fresh, args):
                 br.get("late_edges_rejected"),
                 fr.get("late_edges_rejected"),
             )
+            # Robustness protections must be enabled-but-idle in a bench
+            # replay: a baseline run that truncated a search or shed an edge
+            # measured a degraded engine, not the engine. Pinned to exactly
+            # zero on BOTH sides (missing keys in an old baseline count as
+            # zero).
+            for field in ("searches_truncated", "edges_shed"):
+                check(
+                    br.get(field, 0) == 0,
+                    row_ctx,
+                    f"baseline {field} is {br.get(field)} (must be 0)",
+                )
+                check(
+                    fr.get(field, 0) == 0,
+                    row_ctx,
+                    f"fresh {field} is {fr.get(field)} (must be 0)",
+                )
             b_lanes = index_by(br.get("per_window", []), "window", row_ctx)
             f_lanes = index_by(fr.get("per_window", []), "window", row_ctx)
             for window in match_keys(b_lanes, f_lanes, "window lane", row_ctx):

@@ -174,6 +174,9 @@ void MetricsRegistry::import_work(const std::string& prefix,
               work.late_edges_rejected);
   set_counter(prefix + "_graph_compactions_total", labels,
               work.graph_compactions);
+  set_counter(prefix + "_searches_truncated_total", labels,
+              work.searches_truncated);
+  set_counter(prefix + "_edges_shed_total", labels, work.edges_shed);
 }
 
 void MetricsRegistry::import_scheduler(const Scheduler& sched) {
@@ -241,6 +244,23 @@ void MetricsRegistry::import_stream(const StreamStats& stats) {
                 "Edges currently in the sliding window");
   set_gauge("parcycle_stream_busy_seconds_total", "", stats.busy_seconds,
             "Wall time inside batch processing");
+  set_gauge_u64("parcycle_stream_overload_level", "",
+                static_cast<std::uint64_t>(stats.overload_level),
+                "Current overload-ladder level (0 = normal)");
+  set_counter("parcycle_stream_overload_shifts_total", "",
+              stats.overload_shifts, "Overload ladder level changes");
+  set_counter("parcycle_stream_edges_shed_total", "", stats.edges_shed,
+              "Arrivals shed at the top overload level");
+  set_counter("parcycle_stream_search_errors_total", "", stats.search_errors,
+              "Batches that caught a search-side exception");
+  set_counter("parcycle_stream_sink_delivered_total", "", stats.sink_delivered,
+              "Cycle records delivered through guarded sinks");
+  set_counter("parcycle_stream_sink_errors_total", "", stats.sink_errors,
+              "Exceptions thrown by guarded downstream sinks");
+  set_counter("parcycle_stream_sink_dropped_total", "", stats.sink_dropped,
+              "Cycle records dropped by guarded sinks (timeout/quarantine)");
+  set_gauge_u64("parcycle_stream_sink_quarantined", "", stats.sink_quarantined,
+                "Window lanes whose sink is quarantined");
   import_work("parcycle_stream_work", stats.work);
   set_histogram("parcycle_stream_search_latency_ns", "", stats.latency,
                 "Per-edge search latency, all window lanes");

@@ -30,6 +30,10 @@ const char* trace_name_str(TraceName name) noexcept {
       return "reorder_buffered";
     case TraceName::kLiveEdges:
       return "live_edges";
+    case TraceName::kOverloadShift:
+      return "overload_shift";
+    case TraceName::kSearchTruncated:
+      return "search_truncated";
   }
   return "unknown";
 }

@@ -45,6 +45,8 @@ enum class TraceName : std::uint8_t {
   kPruned,           // stream: reverse-BFS prune ran for an edge
   kReorderBuffered,  // counter: reorder-stage watermark after a batch
   kLiveEdges,        // counter: live window edges after a batch
+  kOverloadShift,    // stream: overload ladder changed level (arg = level)
+  kSearchTruncated,  // stream: a per-edge search hit its budget (arg = edge)
 };
 
 const char* trace_name_str(TraceName name) noexcept;

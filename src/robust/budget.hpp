@@ -1,0 +1,99 @@
+// Cooperative per-search deadlines for the streaming enumeration path.
+//
+// A SearchBudget caps what one closing-edge search may spend — wall-clock
+// nanoseconds and/or edge visits — so a single pathological edge (the skewed
+// per-edge cost distribution of Blanuša et al., SPAA 2022, makes these
+// inevitable under adversarial feeds) truncates instead of holding a worker
+// hostage. The check is cooperative: the serial DFS and every fine-grained
+// branch task poll charge() at their branch points and unwind when it reports
+// expiry. A truncated search still reports every cycle it closed before the
+// deadline; the result is PARTIAL (a lower bound), which the engine surfaces
+// through WorkCounters::searches_truncated so alert consumers can tell "no
+// cycles" from "gave up looking".
+//
+// Zero-cost when disabled: the search entry points take a nullable
+// SearchBudgetState* and a disabled budget is simply a null pointer — the
+// hot loops pay one predictable branch.
+//
+// Determinism note: the edge-visit cap is exact and schedule-independent in
+// the serial search (visits are charged in DFS order). Under the fine-grained
+// variant the counter is shared by concurrently-running branch tasks, so
+// WHICH branches get truncated depends on the schedule — only the fact of
+// truncation and the ~cap total are stable. Tests that need exact truncation
+// points force the serial path (overload ladder level >= kForceSerial).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parcycle {
+
+// Limits for one closing-edge search. Zero means unlimited for either axis.
+struct SearchBudget {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t edge_visits = 0;
+
+  bool enabled() const noexcept { return wall_ns != 0 || edge_visits != 0; }
+};
+
+// Runtime state for one armed search. Shared by the serial search and all
+// branch tasks of a fine-grained search; all members are safe to poll
+// concurrently. Arming reads the clock once; charge() re-reads it only every
+// 64 visits (strided) so the common path is a relaxed fetch_add plus a
+// compare.
+class SearchBudgetState {
+ public:
+  explicit SearchBudgetState(const SearchBudget& budget) noexcept
+      : budget_(budget) {
+    if (budget_.wall_ns != 0) {
+      deadline_ns_ = now_ns() + budget_.wall_ns;
+    }
+  }
+
+  // Charges `n` edge visits against the budget. Returns true while the
+  // search may continue, false once the budget is exhausted (and from then
+  // on forever — expiry is sticky).
+  bool charge(std::uint64_t n = 1) noexcept {
+    if (expired_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    const std::uint64_t total =
+        charged_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (budget_.edge_visits != 0 && total > budget_.edge_visits) {
+      expired_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    // Stride the clock read: only the charge that crosses a 64-visit
+    // boundary pays for it.
+    if (deadline_ns_ != 0 && (total >> 6) != ((total - n) >> 6) &&
+        now_ns() >= deadline_ns_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  bool expired() const noexcept {
+    return expired_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t charged() const noexcept {
+    return charged_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  SearchBudget budget_;
+  std::uint64_t deadline_ns_ = 0;  // 0 = no wall deadline
+  std::atomic<std::uint64_t> charged_{0};
+  std::atomic<bool> expired_{false};
+};
+
+}  // namespace parcycle

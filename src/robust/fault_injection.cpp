@@ -1,0 +1,178 @@
+#include "robust/fault_injection.hpp"
+
+#include <charconv>
+
+namespace parcycle {
+
+namespace {
+
+std::atomic<FaultInjector*> g_active{nullptr};
+
+// SplitMix64: the firing gate must be a pure, stable function of
+// (seed, point, hit index) so a fixed seed reproduces the exact firing set.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_point_name(FaultPoint point) noexcept {
+  switch (point) {
+    case FaultPoint::kSlabGrow:
+      return "slab_grow";
+    case FaultPoint::kSinkThrow:
+      return "sink_throw";
+    case FaultPoint::kSinkDelay:
+      return "sink_delay";
+    case FaultPoint::kSnapshotTruncate:
+      return "snapshot_truncate";
+    case FaultPoint::kSnapshotBitFlip:
+      return "snapshot_bitflip";
+    case FaultPoint::kFeedStall:
+      return "feed_stall";
+    case FaultPoint::kFeedBurst:
+      return "feed_burst";
+    case FaultPoint::kCount:
+      break;
+  }
+  return "?";
+}
+
+void FaultInjector::arm(FaultPoint point, FaultRule rule) noexcept {
+  PointState& state = points_[static_cast<int>(point)];
+  state.rule = rule;
+  state.hits.store(0, std::memory_order_relaxed);
+  state.fired.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(FaultPoint point, std::uint64_t* param) noexcept {
+  PointState& state = points_[static_cast<int>(point)];
+  const std::uint64_t hit =
+      state.hits.fetch_add(1, std::memory_order_relaxed);
+  const FaultRule& rule = state.rule;
+  if (rule.every == 0 || hit < rule.after) {
+    return false;
+  }
+  if ((hit - rule.after) % rule.every != 0) {
+    return false;
+  }
+  if (rule.prob_mille < 1000) {
+    const std::uint64_t gate =
+        mix64(seed_ ^ (static_cast<std::uint64_t>(point) << 32) ^ hit);
+    if (gate % 1000 >= rule.prob_mille) {
+      return false;
+    }
+  }
+  if (rule.limit != 0 &&
+      state.fired.load(std::memory_order_relaxed) >= rule.limit) {
+    return false;
+  }
+  state.fired.fetch_add(1, std::memory_order_relaxed);
+  if (param != nullptr) {
+    *param = rule.param;
+  }
+  return true;
+}
+
+std::uint64_t FaultInjector::hits(FaultPoint point) const noexcept {
+  return points_[static_cast<int>(point)].hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultPoint point) const noexcept {
+  return points_[static_cast<int>(point)].fired.load(
+      std::memory_order_relaxed);
+}
+
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t* out) noexcept {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool point_from_name(std::string_view name, FaultPoint* out) noexcept {
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    const auto point = static_cast<FaultPoint>(i);
+    if (name == fault_point_name(point)) {
+      *out = point;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultInjector::arm_from_spec(std::string_view spec, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view clause = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (clause.empty()) {
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string_view::npos) {
+      return fail("fault spec clause missing ':' — " + std::string(clause));
+    }
+    FaultPoint point;
+    if (!point_from_name(clause.substr(0, colon), &point)) {
+      return fail("unknown fault point '" +
+                  std::string(clause.substr(0, colon)) + "'");
+    }
+    FaultRule rule;
+    std::string_view keys = clause.substr(colon + 1);
+    while (!keys.empty()) {
+      const std::size_t comma = keys.find(',');
+      std::string_view kv = keys.substr(0, comma);
+      keys = comma == std::string_view::npos ? std::string_view{}
+                                             : keys.substr(comma + 1);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos) {
+        return fail("fault spec key missing '=' — " + std::string(kv));
+      }
+      const std::string_view key = kv.substr(0, eq);
+      std::uint64_t value = 0;
+      if (!parse_u64(kv.substr(eq + 1), &value)) {
+        return fail("bad fault spec value — " + std::string(kv));
+      }
+      if (key == "every") {
+        rule.every = value;
+      } else if (key == "after") {
+        rule.after = value;
+      } else if (key == "limit") {
+        rule.limit = value;
+      } else if (key == "param") {
+        rule.param = value;
+      } else if (key == "prob") {
+        rule.prob_mille = value;
+      } else {
+        return fail("unknown fault spec key '" + std::string(key) + "'");
+      }
+    }
+    arm(point, rule);
+  }
+  return true;
+}
+
+void FaultInjector::install(FaultInjector* injector) noexcept {
+  g_active.store(injector, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace parcycle

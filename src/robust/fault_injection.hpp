@@ -1,0 +1,100 @@
+// Deterministic fault injection for the streaming engine's failure paths.
+//
+// A FaultInjector owns a rule per named injection point; production code asks
+// `FaultInjector::should_fire(point)` at the site where the fault would
+// happen (slab growth, sink call, snapshot write, feed loop). Compiled in
+// always — the disabled cost is one relaxed atomic load of the global
+// injector pointer plus a predictable branch, so the probe can sit on hot
+// paths without a build flag.
+//
+// Decisions are deterministic: each point keeps an atomic hit counter and a
+// rule fires as a pure function of the hit index (skip the first `after`
+// hits, then every `every`-th, at most `limit` times; a seeded hash gate
+// thins firings pseudo-randomly but reproducibly). Under concurrency the
+// ASSIGNMENT of hit indices to threads is schedule-dependent, but the SET of
+// fired indices is not — which is what the fault tests pin down.
+//
+// Spec strings (CLI surface, e.g. `fraud_detection --inject`):
+//   point:key=value[,key=value...][;point:...]
+// with points slab_grow | sink_throw | sink_delay | snapshot_truncate |
+// snapshot_bitflip | feed_stall | feed_burst and keys every, after, limit,
+// param, prob (per-mille, hashed against the injector seed).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parcycle {
+
+enum class FaultPoint : int {
+  kSlabGrow = 0,       // TaskSlab::grow(): throw std::bad_alloc instead
+  kSinkThrow,          // GuardedSink consumer: sink call throws
+  kSinkDelay,          // GuardedSink consumer: sleep param µs before the call
+  kSnapshotTruncate,   // rotated save: truncate the data file to param bytes
+  kSnapshotBitFlip,    // rotated save: flip bit 0 of byte param (mod size)
+  kFeedStall,          // feed loop: sleep param µs before the next push
+  kFeedBurst,          // feed loop: push param edges back-to-back, no delay
+  kCount
+};
+
+constexpr int kFaultPointCount = static_cast<int>(FaultPoint::kCount);
+
+// Human name used by spec strings and test logs.
+const char* fault_point_name(FaultPoint point) noexcept;
+
+struct FaultRule {
+  std::uint64_t every = 0;      // fire on hit indices after..after+k*every (0 = disarmed)
+  std::uint64_t after = 0;      // skip this many hits first
+  std::uint64_t limit = 0;      // stop after this many firings (0 = unlimited)
+  std::uint64_t param = 0;      // point-specific payload (µs, bytes, count)
+  std::uint64_t prob_mille = 1000;  // of the hits selected above, fire this ‰
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  void arm(FaultPoint point, FaultRule rule) noexcept;
+  void disarm(FaultPoint point) noexcept { arm(point, FaultRule{}); }
+
+  // Counts a hit at `point` and decides whether the fault fires. On firing,
+  // writes the rule's param through `param` (when non-null).
+  bool fire(FaultPoint point, std::uint64_t* param = nullptr) noexcept;
+
+  std::uint64_t hits(FaultPoint point) const noexcept;
+  std::uint64_t fired(FaultPoint point) const noexcept;
+
+  // Parses a spec string (see header comment) into arm() calls on this
+  // injector. Returns false and fills `error` on malformed input; rules
+  // parsed before the error are kept.
+  bool arm_from_spec(std::string_view spec, std::string* error = nullptr);
+
+  // Global installation: production probes consult the installed injector.
+  // Passing nullptr uninstalls. The caller keeps ownership and must keep the
+  // injector alive while installed.
+  static void install(FaultInjector* injector) noexcept;
+  static FaultInjector* active() noexcept;
+
+  // One-line probe for production sites: false (no fault) unless an injector
+  // is installed and its rule fires.
+  static bool should_fire(FaultPoint point,
+                          std::uint64_t* param = nullptr) noexcept {
+    FaultInjector* injector = active();
+    return injector != nullptr && injector->fire(point, param);
+  }
+
+ private:
+  struct PointState {
+    FaultRule rule;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  std::uint64_t seed_;
+  std::array<PointState, kFaultPointCount> points_;
+};
+
+}  // namespace parcycle

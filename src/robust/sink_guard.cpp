@@ -1,0 +1,129 @@
+#include "robust/sink_guard.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "robust/fault_injection.hpp"
+
+namespace parcycle {
+
+GuardedSink::GuardedSink(CycleSink* downstream, SinkGuardOptions options)
+    : downstream_(downstream), options_(options) {
+  if (options_.queue_capacity == 0) {
+    options_.queue_capacity = 1;
+  }
+  consumer_ = std::thread([this] { consumer_main(); });
+}
+
+GuardedSink::~GuardedSink() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  consumer_.join();
+}
+
+void GuardedSink::on_cycle(std::span<const VertexId> vertices,
+                           std::span<const EdgeId> edges) {
+  const auto timeout = std::chrono::microseconds(options_.handoff_timeout_us);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stats_.quarantined) {
+    stats_.dropped += 1;
+    return;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    space_cv_.wait_for(lock, timeout, [this] {
+      return stop_ || stats_.quarantined ||
+             queue_.size() < options_.queue_capacity;
+    });
+    if (stop_ || stats_.quarantined ||
+        queue_.size() >= options_.queue_capacity) {
+      stats_.dropped += 1;
+      return;
+    }
+  }
+  CycleRecord record;
+  record.vertices.assign(vertices.begin(), vertices.end());
+  record.edges.assign(edges.begin(), edges.end());
+  queue_.push_back(std::move(record));
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+void GuardedSink::consumer_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // stop_ and drained
+    }
+    CycleRecord record = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+
+    std::uint64_t param = 0;
+    if (FaultInjector::should_fire(FaultPoint::kSinkDelay, &param)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(param));
+    }
+    bool ok = true;
+    try {
+      if (FaultInjector::should_fire(FaultPoint::kSinkThrow)) {
+        throw std::runtime_error("injected sink fault");
+      }
+      downstream_->on_cycle(record.vertices, record.edges);
+    } catch (...) {
+      ok = false;
+    }
+
+    lock.lock();
+    if (ok) {
+      stats_.delivered += 1;
+      consecutive_errors_ = 0;
+    } else {
+      stats_.errors += 1;
+      consecutive_errors_ += 1;
+      if (consecutive_errors_ >= options_.quarantine_after) {
+        stats_.quarantined = true;
+        stats_.dropped += queue_.size();
+        queue_.clear();
+        space_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void GuardedSink::drain() {
+  const auto window = std::chrono::microseconds(options_.handoff_timeout_us);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!queue_.empty() && !stats_.quarantined && !stop_) {
+    const std::uint64_t progress_before = stats_.delivered + stats_.errors;
+    // space_cv_ fires once per consumed record, so this wakes on progress.
+    space_cv_.wait_for(lock, window);
+    if (stats_.delivered + stats_.errors == progress_before &&
+        !queue_.empty()) {
+      return;  // consumer stuck: leave the backlog, keep the engine live
+    }
+  }
+}
+
+SinkGuardStats GuardedSink::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool GuardedSink::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.quarantined;
+}
+
+void GuardedSink::restore_stats(const SinkGuardStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = stats;
+  consecutive_errors_ = 0;
+}
+
+}  // namespace parcycle

@@ -1,0 +1,97 @@
+// Sink isolation for the streaming engine.
+//
+// The engine calls CycleSink::on_cycle from enumeration tasks, so a throwing
+// or blocking consumer sink would take a worker — and with it the whole
+// batch — down with it. GuardedSink decouples the two with a bounded
+// hand-off buffer and a dedicated consumer thread:
+//
+//  * producers (search tasks) copy the record into the buffer and never run
+//    consumer code; when the buffer is full they wait at most
+//    `handoff_timeout_us` for space, then drop the record and count it
+//    (`dropped`) instead of blocking the search;
+//  * the consumer catches every exception the downstream sink throws
+//    (`errors`), and after `quarantine_after` consecutive failures
+//    quarantines the sink — the buffer is discarded, later records are
+//    dropped at the producer side, and the engine stays live;
+//  * drain() bounds the engine's end-of-batch wait by consumer PROGRESS, not
+//    queue emptiness: a stuck sink forfeits its backlog after one timeout
+//    instead of stalling ingest.
+//
+// Engine cycle counts are accumulated on the search side, so none of the
+// guard's failure modes (drop, error, quarantine) can corrupt enumeration
+// totals — they only reduce what the downstream consumer observes, which is
+// exactly the contract the `sink_*` counters document.
+//
+// The FaultInjector points kSinkThrow / kSinkDelay are consulted on the
+// consumer thread, immediately before the downstream call, so tests can
+// exercise all of the above deterministically.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "core/cycle_types.hpp"
+
+namespace parcycle {
+
+struct SinkGuardOptions {
+  std::size_t queue_capacity = 4096;
+  // Producer-side hand-off timeout and drain()'s per-round progress window.
+  std::uint64_t handoff_timeout_us = 2000;
+  // Consecutive downstream failures before the sink is quarantined.
+  std::uint64_t quarantine_after = 8;
+};
+
+struct SinkGuardStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t dropped = 0;
+  bool quarantined = false;
+};
+
+class GuardedSink final : public CycleSink {
+ public:
+  GuardedSink(CycleSink* downstream, SinkGuardOptions options = {});
+  ~GuardedSink() override;
+
+  GuardedSink(const GuardedSink&) = delete;
+  GuardedSink& operator=(const GuardedSink&) = delete;
+
+  // Producer side: bounded hand-off, never throws, never blocks longer than
+  // the hand-off timeout.
+  void on_cycle(std::span<const VertexId> vertices,
+                std::span<const EdgeId> edges) override;
+
+  // Waits for the buffer to empty as long as the consumer keeps making
+  // progress; returns early (leaving the backlog to drain asynchronously)
+  // when it does not. Called by the engine at batch boundaries.
+  void drain();
+
+  SinkGuardStats stats() const;
+  bool quarantined() const;
+
+  // Snapshot restore: re-seeds the cumulative counters of a fresh guard.
+  void restore_stats(const SinkGuardStats& stats);
+
+ private:
+  void consumer_main();
+
+  CycleSink* downstream_;
+  SinkGuardOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  // signalled when the queue shrinks
+  std::condition_variable work_cv_;   // signalled when work arrives / stop
+  std::deque<CycleRecord> queue_;
+  SinkGuardStats stats_;
+  std::uint64_t consecutive_errors_ = 0;
+  bool stop_ = false;
+
+  std::thread consumer_;
+};
+
+}  // namespace parcycle

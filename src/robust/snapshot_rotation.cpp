@@ -1,0 +1,139 @@
+#include "robust/snapshot_rotation.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "robust/fault_injection.hpp"
+#include "stream/engine.hpp"
+
+namespace parcycle {
+
+namespace {
+
+constexpr const char* kPointerTag = "parcycle-snapshot-ptr";
+
+std::string generation_path(const std::string& base, int generation) {
+  return base + "." + std::to_string(generation);
+}
+
+// Returns 0 when the pointer file is absent or unreadable as a pointer.
+int read_pointer(const std::string& base) {
+  std::ifstream in(base);
+  if (!in) {
+    return 0;
+  }
+  std::string tag;
+  int generation = 0;
+  if (!(in >> tag >> generation) || tag != kPointerTag ||
+      (generation != 1 && generation != 2)) {
+    return 0;
+  }
+  return generation;
+}
+
+void write_pointer(const std::string& base, int generation) {
+  const std::string tmp = base + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << kPointerTag << ' ' << generation << '\n';
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("stream snapshot: cannot write pointer file " +
+                               tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, base, ec);
+  if (ec) {
+    throw std::runtime_error("stream snapshot: cannot rename pointer file " +
+                             tmp + " -> " + base + ": " + ec.message());
+  }
+}
+
+bool file_has_pse_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[3] = {};
+  return in.read(magic, 3) && magic[0] == 'P' && magic[1] == 'S' &&
+         magic[2] == 'E';
+}
+
+// Applies the armed snapshot-corruption faults to the data file just
+// written. Truncation keeps `param` bytes (clamped below the file size);
+// bit-flip inverts bit 0 of byte `param % size`.
+void maybe_corrupt(const std::string& path) {
+  std::uint64_t param = 0;
+  if (FaultInjector::should_fire(FaultPoint::kSnapshotTruncate, &param)) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      std::filesystem::resize_file(path, std::min<std::uint64_t>(param, size),
+                                   ec);
+    }
+  }
+  if (FaultInjector::should_fire(FaultPoint::kSnapshotBitFlip, &param)) {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (file && !ec && size > 0) {
+      const auto offset = static_cast<std::streamoff>(param % size);
+      file.seekg(offset);
+      char byte = 0;
+      file.get(byte);
+      file.seekp(offset);
+      file.put(static_cast<char>(byte ^ 0x01));
+    }
+  }
+}
+
+}  // namespace
+
+RotatedSnapshotInfo save_snapshot_rotated(const StreamEngine& engine,
+                                          const std::string& base) {
+  const int last_good = read_pointer(base);
+  const int next = last_good == 1 ? 2 : 1;
+  RotatedSnapshotInfo info{generation_path(base, next), next};
+  engine.save_snapshot_file(info.path);
+  maybe_corrupt(info.path);
+  write_pointer(base, next);
+  return info;
+}
+
+RotatedSnapshotInfo restore_snapshot_rotated(StreamEngine& engine,
+                                             const std::string& base) {
+  const int pointed = read_pointer(base);
+  if (pointed == 0) {
+    // Not a pointer file: accept a plain snapshot at the base path so
+    // pre-rotation checkpoints stay restorable.
+    if (file_has_pse_magic(base)) {
+      engine.restore_snapshot_file(base);
+      return {base, 0};
+    }
+    throw std::runtime_error("stream snapshot: " + base +
+                             " is neither a rotation pointer nor a snapshot");
+  }
+  const int fallback = pointed == 1 ? 2 : 1;
+  std::string first_error;
+  for (const int generation : {pointed, fallback}) {
+    const std::string path = generation_path(base, generation);
+    if (!std::filesystem::exists(path)) {
+      continue;
+    }
+    try {
+      engine.restore_snapshot_file(path);
+      return {path, generation};
+    } catch (const std::runtime_error& err) {
+      if (first_error.empty()) {
+        first_error = err.what();
+      }
+    }
+  }
+  throw std::runtime_error(
+      "stream snapshot: no restorable generation under " + base +
+      (first_error.empty() ? std::string(" (no data files)")
+                           : " (latest failed with: " + first_error + ")"));
+}
+
+}  // namespace parcycle

@@ -1,0 +1,45 @@
+// Snapshot generation rotation: two alternating data files plus a last-good
+// pointer, so one corrupt write (torn disk, injected truncation/bit-flip)
+// costs a checkpoint interval instead of the whole run.
+//
+// Layout for base path `snap.bin`:
+//   snap.bin.1 / snap.bin.2   alternating PSE1 snapshot data files
+//   snap.bin                  text pointer file naming the last good
+//                             generation ("parcycle-snapshot-ptr <1|2>\n"),
+//                             rewritten atomically (tmp + rename) AFTER the
+//                             data file is on disk
+//
+// save_snapshot_rotated writes the generation the pointer does NOT name, so
+// the previous good generation stays intact until the new one is complete.
+// restore_snapshot_rotated tries the pointed-at generation first and falls
+// back to the other on any validation failure (restore_snapshot leaves a
+// failed engine untouched, so the retry runs on the same fresh engine).
+//
+// Back-compat: a base path whose file starts with the PSE magic is restored
+// directly as a plain single-file snapshot (generation 0), so pre-rotation
+// snapshots keep working.
+//
+// The FaultInjector points kSnapshotTruncate / kSnapshotBitFlip corrupt the
+// freshly written data file (after write, before the pointer flip) — the
+// exact failure mode rotation exists to survive.
+#pragma once
+
+#include <string>
+
+namespace parcycle {
+
+class StreamEngine;
+
+struct RotatedSnapshotInfo {
+  std::string path;    // data file actually written / restored
+  int generation = 0;  // 1 or 2; 0 = plain single-file snapshot (restore)
+};
+
+RotatedSnapshotInfo save_snapshot_rotated(const StreamEngine& engine,
+                                          const std::string& base);
+
+// Throws std::runtime_error when no generation restores cleanly.
+RotatedSnapshotInfo restore_snapshot_rotated(StreamEngine& engine,
+                                             const std::string& base);
+
+}  // namespace parcycle

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -33,6 +34,22 @@ Timestamp saturating_floor(Timestamp max_seen, Timestamp slack) {
 }
 
 }  // namespace
+
+const char* overload_level_name(OverloadLevel level) noexcept {
+  switch (level) {
+    case OverloadLevel::kNormal:
+      return "normal";
+    case OverloadLevel::kForcePrune:
+      return "force_prune";
+    case OverloadLevel::kForceSerial:
+      return "force_serial";
+    case OverloadLevel::kTightenBudgets:
+      return "tighten_budgets";
+    case OverloadLevel::kShed:
+      return "shed";
+  }
+  return "?";
+}
 
 StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
                            CycleSink* sink)
@@ -66,12 +83,78 @@ StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
     options_.batch_size = 1;
   }
   lane_sinks_.resize(deltas_.size(), nullptr);
+  sink_guards_.resize(deltas_.size());
+  effective_sinks_ = lane_sinks_;
+  if (options_.guard_sinks) {
+    for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+      if (lane_sinks_[lane] != nullptr) {
+        sink_guards_[lane] = std::make_unique<GuardedSink>(
+            lane_sinks_[lane], options_.sink_guard);
+        effective_sinks_[lane] = sink_guards_[lane].get();
+      }
+    }
+  }
+  if (options_.overload_high_watermark != SIZE_MAX &&
+      options_.overload_low_watermark == 0) {
+    options_.overload_low_watermark = options_.overload_high_watermark / 2;
+  }
   sinks_.reserve(sched_.num_workers());
   for (unsigned i = 0; i < sched_.num_workers(); ++i) {
     sinks_.push_back(std::make_unique<WorkerSink>());
     sinks_.back()->lanes.resize(deltas_.size());
   }
   pending_.reserve(options_.batch_size);
+}
+
+void StreamEngine::set_overload_level(OverloadLevel level) {
+  if (level == overload_level_) {
+    return;
+  }
+  overload_level_ = level;
+  overload_shifts_ += 1;
+  if (TraceRecorder* const tr = sched_.tracer()) {
+    const auto worker =
+        static_cast<unsigned>(std::max(0, Scheduler::current_worker_id()));
+    tr->record_instant(worker, TraceName::kOverloadShift, trace_now_ns(),
+                       static_cast<std::uint64_t>(level));
+  }
+}
+
+// Called at the START of a batch: one level per multiple of the high
+// watermark, so a flood engages the heavier degradations without waiting a
+// batch per rung. Pure function of buffered occupancy — deterministic for a
+// given push sequence.
+void StreamEngine::overload_step_up() {
+  const std::size_t high = options_.overload_high_watermark;
+  const std::size_t occupancy = pending_.size() + reorder_heap_.size();
+  if (high == SIZE_MAX || high == 0 || occupancy < high) {
+    return;
+  }
+  calm_batches_ = 0;
+  const auto steps = static_cast<int>(std::min<std::size_t>(
+      occupancy / high, static_cast<std::size_t>(kOverloadLevels - 1)));
+  const int target = std::min(kOverloadLevels - 1,
+                              static_cast<int>(overload_level_) + steps);
+  set_overload_level(static_cast<OverloadLevel>(target));
+}
+
+// Called at the END of a batch: hysteretic single-step recovery after
+// overload_recover_batches consecutive calm batches.
+void StreamEngine::overload_step_down() {
+  if (overload_level_ == OverloadLevel::kNormal) {
+    return;
+  }
+  const std::size_t occupancy = pending_.size() + reorder_heap_.size();
+  if (occupancy > options_.overload_low_watermark) {
+    calm_batches_ = 0;
+    return;
+  }
+  calm_batches_ += 1;
+  if (calm_batches_ >= options_.overload_recover_batches) {
+    calm_batches_ = 0;
+    set_overload_level(
+        static_cast<OverloadLevel>(static_cast<int>(overload_level_) - 1));
+  }
 }
 
 void StreamEngine::enqueue(const TemporalEdge& edge) {
@@ -96,6 +179,13 @@ void StreamEngine::release_ready() {
 
 void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
   edges_pushed_ += 1;
+  if (overload_level_ == OverloadLevel::kShed) {
+    // Last rung of the ladder: drop the arrival before it can grow any
+    // buffer. edges_pushed_ still advanced — shedding must not desync the
+    // stream cursor a restore resumes from.
+    edges_shed_ += 1;
+    return;
+  }
   if (options_.reorder_slack == 0) {
     // Strict legacy contract: the producer guarantees sorted input.
     if (!pending_.empty() || graph_.total_ingested() > 0) {
@@ -171,6 +261,10 @@ static_assert(spawn_uses_slab_v<EdgeSearchTask>,
 
 void StreamEngine::process_batch() {
   if (pending_.empty()) {
+    // An empty flush is still a batch boundary for the ladder. A shedding
+    // engine drops arrivals before they can refill pending, so without this
+    // the top rung could never observe a calm batch and climb back down.
+    overload_step_down();
     return;
   }
   // process_batch runs on the scheduler-owning thread (worker 0); the trace
@@ -180,6 +274,9 @@ void StreamEngine::process_batch() {
       static_cast<unsigned>(std::max(0, Scheduler::current_worker_id()));
   const std::uint64_t batch_edges = pending_.size();
   const std::uint64_t expired_before = tr ? graph_.total_expired() : 0;
+  // Ladder decision on the buffered occupancy this batch starts with; the
+  // level is then stable for the whole search phase.
+  overload_step_up();
   // One clock read at each phase boundary replaces the old WallTimer pair;
   // without a tracer the extra boundaries are skipped entirely.
   const std::uint64_t t_start = trace_now_ns();
@@ -191,11 +288,23 @@ void StreamEngine::process_batch() {
     e.id = graph_.ingest(e.src, e.dst, e.ts);
   }
   const std::uint64_t t_ingested = tr ? trace_now_ns() : 0;
-  TaskGroup group(sched_);
-  for (const TemporalEdge& e : pending_) {
-    group.spawn(EdgeSearchTask{this, e});
+  {
+    TaskGroup group(sched_);
+    try {
+      for (const TemporalEdge& e : pending_) {
+        group.spawn(EdgeSearchTask{this, e});
+      }
+      group.wait();
+    } catch (...) {
+      // A search task (or the spawn itself, e.g. injected slab alloc
+      // failure) threw. The edges are already ingested, so the window stays
+      // correct; only this batch's searches are (partially) lost. Count it
+      // and keep the engine live — group.wait() drained the remaining tasks
+      // before rethrowing, and the TaskGroup destructor drains any the
+      // spawn loop left behind.
+      search_errors_ += 1;
+    }
   }
-  group.wait();
   pending_.clear();
   batches_ += 1;
   // The final wait() ordered every task's sink writes before this read.
@@ -206,6 +315,14 @@ void StreamEngine::process_batch() {
     }
   }
   cycles_found_ = cycles;
+  // Bound the wait on guarded sinks by consumer progress: a healthy sink
+  // finishes its backlog, a stuck one forfeits it (engine stays live).
+  for (const auto& guard : sink_guards_) {
+    if (guard != nullptr) {
+      guard->drain();
+    }
+  }
+  overload_step_down();
   const std::uint64_t t_end = trace_now_ns();
   busy_seconds_ += static_cast<double>(t_end - t_start) * 1e-9;
   if (tr != nullptr) {
@@ -235,6 +352,14 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
   TraceRecorder* const tr = sched_.tracer();
   const auto wid = static_cast<unsigned>(worker);
   auto scratch = scratch_pool_.acquire();
+  // Ladder effects, fixed for the whole batch (the level only changes at
+  // batch boundaries on worker 0, ordered before the task spawns).
+  const OverloadLevel level = overload_level_;
+  const bool force_prune = level >= OverloadLevel::kForcePrune;
+  const bool force_serial = level >= OverloadLevel::kForceSerial;
+  const SearchBudget& budget_cfg = level >= OverloadLevel::kTightenBudgets
+                                       ? options_.degraded_budget
+                                       : options_.search_budget;
   std::uint64_t t_lane = trace_now_ns();
   const std::uint64_t edge_start = t_lane;  // for the whole-edge span
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
@@ -246,16 +371,19 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
             : graph_
                   .out_edges_in_window(edge.dst, edge.ts - delta, edge.ts - 1)
                   .size();
-    const bool hot =
-        edge.src != edge.dst && frontier >= options_.hot_frontier_threshold;
+    const bool hot = !force_serial && edge.src != edge.dst &&
+                     frontier >= options_.hot_frontier_threshold;
 
     EnumOptions eopts;
     eopts.max_cycle_length = options_.max_cycle_length;
     // Both thresholds read only the graph, so the serial/fine split and the
     // prune decision — hence cycle counts and edge visits — are
-    // deterministic across schedules and thread counts, per lane.
-    eopts.use_cycle_union = options_.use_reach_prune &&
-                            frontier >= options_.prune_frontier_threshold;
+    // deterministic across schedules and thread counts, per lane. The
+    // overload overrides are batch-stable, so determinism survives them for
+    // a fixed push sequence.
+    eopts.use_cycle_union =
+        force_prune || (options_.use_reach_prune &&
+                        frontier >= options_.prune_frontier_threshold);
     if (tr != nullptr) {
       // Decision instants reuse the lane's start timestamp: tracing the
       // escalate/prune verdicts costs no clock reads.
@@ -266,18 +394,32 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
         tr->record_instant(wid, TraceName::kPruned, t_lane, edge.id);
       }
     }
+    // A fresh budget per lane search: the deadline is per-search, and the
+    // disabled case stays a null pointer all the way down the DFS.
+    std::optional<SearchBudgetState> budget_state;
+    SearchBudgetState* budget = nullptr;
+    if (budget_cfg.enabled()) {
+      budget_state.emplace(budget_cfg);
+      budget = &*budget_state;
+    }
     std::uint64_t found = 0;
+    const std::uint64_t truncated_before = counters.work.searches_truncated;
     if (hot) {
       counters.escalated += 1;
       found = fine_cycles_closed_by_edge(graph_, edge, delta, sched_, eopts,
                                          popts, *scratch, counters.work,
-                                         lane_sinks_[lane]);
+                                         effective_sinks_[lane], budget);
     } else {
       found = cycles_closed_by_edge(graph_, edge, delta, eopts, *scratch,
-                                    counters.work, lane_sinks_[lane]);
+                                    counters.work, effective_sinks_[lane],
+                                    budget);
     }
     counters.cycles += found;
     const std::uint64_t t_done = trace_now_ns();
+    if (tr != nullptr &&
+        counters.work.searches_truncated != truncated_before) {
+      tr->record_instant(wid, TraceName::kSearchTruncated, t_done, edge.id);
+    }
     counters.latency.record(t_done - t_lane);
     t_lane = t_done;  // next lane starts where this one ended: no extra read
   }
@@ -299,6 +441,11 @@ StreamStats StreamEngine::stats() const {
   stats.live_edges = graph_.live_edges();
   stats.busy_seconds = busy_seconds_;
 
+  stats.overload_level = overload_level_;
+  stats.overload_shifts = overload_shifts_;
+  stats.edges_shed = edges_shed_;
+  stats.search_errors = search_errors_;
+
   stats.per_window.resize(deltas_.size());
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
     StreamWindowStats& ws = stats.per_window[lane];
@@ -313,11 +460,18 @@ StreamStats StreamEngine::stats() const {
     ws.latency_p50_ns = ws.latency.percentile(0.50);
     ws.latency_p99_ns = ws.latency.percentile(0.99);
     ws.latency_max_ns = ws.latency.max;
+    if (sink_guards_[lane] != nullptr) {
+      ws.sink = sink_guards_[lane]->stats();
+    }
 
     stats.cycles_found += ws.cycles_found;
     stats.escalated_edges += ws.escalated_edges;
     stats.work += ws.work;
     stats.latency.merge(ws.latency);
+    stats.sink_delivered += ws.sink.delivered;
+    stats.sink_errors += ws.sink.errors;
+    stats.sink_dropped += ws.sink.dropped;
+    stats.sink_quarantined += ws.sink.quarantined ? 1 : 0;
   }
   stats.latency_p50_ns = stats.latency.percentile(0.50);
   stats.latency_p99_ns = stats.latency.percentile(0.99);
@@ -326,6 +480,7 @@ StreamStats StreamEngine::stats() const {
   // consumer of `work` (bench columns, CLI) sees them without new plumbing.
   stats.work.late_edges_rejected += late_rejected_;
   stats.work.graph_compactions += graph_.compactions();
+  stats.work.edges_shed += edges_shed_;
   return stats;
 }
 

@@ -69,12 +69,28 @@
 #include "core/johnson_state.hpp"  // ScratchPool
 #include "core/options.hpp"
 #include "obs/histogram.hpp"
+#include "robust/budget.hpp"
+#include "robust/sink_guard.hpp"
 #include "stream/incremental.hpp"
 #include "stream/sliding_window_graph.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
 
 namespace parcycle {
+
+// Overload-control ladder (see StreamOptions::overload_high_watermark).
+// Levels are ordered by severity; each level implies everything above it.
+enum class OverloadLevel : int {
+  kNormal = 0,
+  kForcePrune,      // reverse-BFS prune every search, frontier or not
+  kForceSerial,     // no fine-grained escalation: serial searches only
+  kTightenBudgets,  // degraded_budget replaces search_budget
+  kShed,            // drop arrivals at push(), counted in edges_shed
+};
+
+constexpr int kOverloadLevels = static_cast<int>(OverloadLevel::kShed) + 1;
+
+const char* overload_level_name(OverloadLevel level) noexcept;
 
 struct StreamOptions {
   // Cycle window delta: a cycle's edges all lie within [t0, t0 + window].
@@ -118,6 +134,37 @@ struct StreamOptions {
   // keeps hot traces from flooding the rings with sub-microsecond searches.
   // 0 records every search. Ignored (and cost-free) without a tracer.
   std::uint64_t trace_search_threshold_ns = 0;
+
+  // -- Robustness (src/robust/) ---------------------------------------------
+  //
+  // Cooperative deadline for every per-edge per-lane search (wall-ns and/or
+  // edge-visit cap; zero fields = unlimited). A search that exhausts it
+  // unwinds with the cycles found so far — a partial, lower-bound result —
+  // and is counted in WorkCounters::searches_truncated for its lane.
+  SearchBudget search_budget;
+  // The tighter budget that replaces search_budget while the overload ladder
+  // sits at kTightenBudgets or above.
+  SearchBudget degraded_budget{/*wall_ns=*/2'000'000,
+                               /*edge_visits=*/100'000};
+  // Overload ladder watermarks, measured in buffered arrivals (pending batch
+  // + reorder heap) at batch boundaries. When occupancy reaches the high
+  // watermark at the start of a batch the ladder climbs one level per
+  // multiple of the watermark; after overload_recover_batches consecutive
+  // batches ending at or below the low watermark it steps back down one
+  // level (hysteresis). SIZE_MAX never triggers — the decision points stay
+  // compiled in and exercised, so enabling protection cannot change the
+  // idle-path behaviour.
+  std::size_t overload_high_watermark = SIZE_MAX;
+  // 0 = derive as overload_high_watermark / 2 when the ladder is armed.
+  std::size_t overload_low_watermark = 0;
+  std::uint64_t overload_recover_batches = 2;
+  // Wrap each non-null lane sink in a GuardedSink (bounded hand-off buffer +
+  // consumer thread; see robust/sink_guard.hpp): a throwing, slow or stuck
+  // downstream consumer degrades into sink_errors / sink_dropped counters
+  // instead of stalling or killing the batch. Off by default because it
+  // moves sink delivery onto a dedicated thread per lane.
+  bool guard_sinks = false;
+  SinkGuardOptions sink_guard;
 };
 
 // Per-window-lane statistics; see StreamStats::per_window.
@@ -132,6 +179,9 @@ struct StreamWindowStats {
   // The merged per-edge search latency histogram the percentiles above are
   // computed from (obs/metrics.hpp renders it as a Prometheus histogram).
   Log2Histogram latency;
+  // Sink-isolation accounting for this lane's GuardedSink (all zero when
+  // guard_sinks is off or the lane has no sink).
+  SinkGuardStats sink;
 };
 
 // Aggregate engine statistics; see StreamEngine::stats(). The scalar fields
@@ -169,6 +219,22 @@ struct StreamStats {
   std::uint64_t latency_max_ns = 0;
   // Merged across all lanes; source of the aggregate percentiles above.
   Log2Histogram latency;
+  // -- Robustness (zero in a healthy, unprotected or untriggered run) -------
+  // Current ladder level and the number of level changes (both directions).
+  OverloadLevel overload_level = OverloadLevel::kNormal;
+  std::uint64_t overload_shifts = 0;
+  // Arrivals dropped at push() while the ladder sat at kShed. Also mirrored
+  // into work.edges_shed so bench columns and the CLI pick it up for free.
+  std::uint64_t edges_shed = 0;
+  // Batches whose search phase threw (injected alloc failure, etc.); the
+  // engine caught the exception and stayed live.
+  std::uint64_t search_errors = 0;
+  // Sink-isolation totals across lanes (see StreamWindowStats::sink);
+  // sink_quarantined counts quarantined lanes.
+  std::uint64_t sink_delivered = 0;
+  std::uint64_t sink_errors = 0;
+  std::uint64_t sink_dropped = 0;
+  std::uint64_t sink_quarantined = 0;
   // One entry per configured window lane, in StreamOptions order.
   std::vector<StreamWindowStats> per_window;
 };
@@ -219,6 +285,9 @@ class StreamEngine {
   // Total push() calls so far (the stream cursor; see StreamStats).
   std::uint64_t edges_pushed() const noexcept { return edges_pushed_; }
 
+  // Current overload-ladder level (changes only at batch boundaries).
+  OverloadLevel overload_level() const noexcept { return overload_level_; }
+
   // Merged statistics snapshot. Call between push()/flush() calls.
   StreamStats stats() const;
 
@@ -229,8 +298,11 @@ class StreamEngine {
   // loads it into a FRESHLY CONSTRUCTED engine whose StreamOptions carry the
   // same window lanes (validated; other tuning knobs are free to differ).
   // Corrupt, truncated or mismatching snapshots throw std::runtime_error and
-  // leave the engine unusable for further pushes. See stream/snapshot.cpp
-  // for the on-disk format.
+  // leave the engine UNTOUCHED (still fresh): the whole payload is parsed
+  // and validated before any member is committed, so a failed restore can be
+  // retried against another snapshot — the contract generation rotation
+  // (robust/snapshot_rotation.hpp) relies on. See stream/snapshot.cpp for
+  // the on-disk format.
   void save_snapshot(std::ostream& out) const;
   void save_snapshot_file(const std::string& path) const;
   void restore_snapshot(std::istream& in);
@@ -259,10 +331,19 @@ class StreamEngine {
   void release_ready();
   void process_batch();
   void search_edge(const TemporalEdge& edge);
+  // Ladder decision points: both run on worker 0 at batch boundaries, so
+  // overload_level_ is stable for the whole search phase of a batch.
+  void overload_step_up();
+  void overload_step_down();
+  void set_overload_level(OverloadLevel level);
 
   StreamOptions options_;
   Scheduler& sched_;
   std::vector<CycleSink*> lane_sinks_;
+  // guard_sinks: per-lane isolation wrappers (null entry = lane unguarded);
+  // effective_sinks_ is what search tasks actually report to.
+  std::vector<std::unique_ptr<GuardedSink>> sink_guards_;
+  std::vector<CycleSink*> effective_sinks_;
   std::vector<Timestamp> deltas_;  // windows, StreamOptions order
   Timestamp retention_ = 0;        // max delta: sliding-graph horizon
   SlidingWindowGraph graph_;
@@ -280,6 +361,13 @@ class StreamEngine {
   std::uint64_t cycles_found_ = 0;
   std::uint64_t batches_ = 0;
   double busy_seconds_ = 0.0;
+  // Overload ladder state: written on worker 0 between batches, read by
+  // search tasks (ordered by the task spawn, like graph_).
+  OverloadLevel overload_level_ = OverloadLevel::kNormal;
+  std::uint64_t overload_shifts_ = 0;
+  std::uint64_t calm_batches_ = 0;  // consecutive batches at/below low
+  std::uint64_t edges_shed_ = 0;
+  std::uint64_t search_errors_ = 0;
 };
 
 }  // namespace parcycle

@@ -28,10 +28,16 @@ namespace {
 // temporally reach the target, so pruning on it never loses a cycle. When
 // `max_path_edges` >= 0 the BFS stops at that depth — vertices further away
 // cannot appear on a path short enough for the length bound.
-void compute_reverse_prune(const SlidingWindowGraph& graph, VertexId target,
+//
+// The BFS charges `budget` per scanned edge too: a window dense enough to
+// blow the search budget usually blows it right here, before the DFS ever
+// starts. Returns false when the budget expired mid-BFS — the marks are then
+// incomplete (no longer a superset) and the caller must NOT search on them.
+bool compute_reverse_prune(const SlidingWindowGraph& graph, VertexId target,
                            Timestamp lo, Timestamp hi,
                            std::int32_t max_path_edges,
-                           StreamSearchScratch& scratch) {
+                           StreamSearchScratch& scratch,
+                           SearchBudgetState* budget) {
   scratch.begin_epoch();
   scratch.mark(target, 0);
   auto& queue = scratch.bfs_queue;
@@ -44,13 +50,18 @@ void compute_reverse_prune(const SlidingWindowGraph& graph, VertexId target,
     if (max_path_edges >= 0 && d >= max_path_edges) {
       continue;  // deeper vertices cannot fit the length bound
     }
-    for (const auto& e : graph.in_edges_in_window(x, lo, hi)) {
+    const auto in_edges = graph.in_edges_in_window(x, lo, hi);
+    if (budget != nullptr && !budget->charge(in_edges.size())) {
+      return false;
+    }
+    for (const auto& e : in_edges) {
       if (!scratch.reached(e.src)) {
         scratch.mark(e.src, d + 1);
         queue.push_back(e.src);
       }
     }
   }
+  return true;
 }
 
 // Shared immutable parameters of one per-edge search.
@@ -102,7 +113,9 @@ struct SerialStreamSearch {
   StreamSearchScratch& scratch;
   WorkCounters& work;
   CycleSink* sink;
+  SearchBudgetState* budget;
   std::uint64_t found = 0;
+  bool truncated = false;
 
   // Path frontier is scratch.path_vertices.back(), reached at `arrival`.
   void extend(Timestamp arrival, std::int32_t rem) {
@@ -111,6 +124,10 @@ struct SerialStreamSearch {
     for (const auto& e :
          params.graph.out_edges_in_window(v, arrival + 1, params.hi)) {
       work.edges_visited += 1;
+      if (budget != nullptr && !budget->charge()) {
+        truncated = true;
+        return;  // unwind: the path stack pops on the way out
+      }
       if (e.dst == params.target) {
         if (!params.bounded || rem >= 1) {
           found += 1;
@@ -137,6 +154,9 @@ struct SerialStreamSearch {
       scratch.on_path.reset(e.dst);
       scratch.path_vertices.pop_back();
       scratch.path_edges.pop_back();
+      if (truncated) {
+        return;
+      }
     }
   }
 };
@@ -152,11 +172,13 @@ struct FineStreamRun {
   Scheduler& sched;
   ParallelOptions popts;
   CycleSink* sink;
+  SearchBudgetState* budget;
 
   std::atomic<std::uint64_t> cycles{0};
   std::atomic<std::uint64_t> edges_visited{0};
   std::atomic<std::uint64_t> vertices_visited{0};
   std::atomic<std::uint64_t> tasks_spawned{0};
+  std::atomic<bool> truncated{false};
 
   void merge(const WorkCounters& local) {
     cycles.fetch_add(local.cycles_found, std::memory_order_relaxed);
@@ -167,6 +189,9 @@ struct FineStreamRun {
   }
 
   bool should_spawn() const {
+    if (budget != nullptr && budget->expired()) {
+      return false;  // expired searches unwind inline, no new tasks
+    }
     switch (popts.spawn_policy) {
       case SpawnPolicy::kAlways:
         return true;
@@ -216,6 +241,10 @@ void fine_explore(FineStreamRun& run, std::vector<VertexId>& vertices,
   for (const auto& e :
        params.graph.out_edges_in_window(v, arrival + 1, params.hi)) {
     local.edges_visited += 1;
+    if (run.budget != nullptr && !run.budget->charge()) {
+      run.truncated.store(true, std::memory_order_relaxed);
+      break;  // fall through to the group wait: children unwind the same way
+    }
     if (e.dst == params.target) {
       if (!params.bounded || rem >= 1) {
         local.cycles_found += 1;
@@ -298,7 +327,8 @@ struct PreparedSearch {
 std::optional<PreparedSearch> prepare_search(
     const SlidingWindowGraph& graph, const TemporalEdge& closing,
     Timestamp window, const EnumOptions& options, StreamSearchScratch& scratch,
-    WorkCounters& work, CycleSink* sink, std::uint64_t* settled) {
+    WorkCounters& work, CycleSink* sink, SearchBudgetState* budget,
+    std::uint64_t* settled) {
   if (settle_trivial(graph, closing, window, work, sink, settled)) {
     return std::nullopt;
   }
@@ -312,8 +342,13 @@ std::optional<PreparedSearch> prepare_search(
   const Timestamp hi = closing.ts - 1;
   scratch.ensure(graph.num_vertices());
   if (options.use_cycle_union) {
-    compute_reverse_prune(graph, closing.src, lo, hi, bounded ? rem0 : -1,
-                          scratch);
+    if (!compute_reverse_prune(graph, closing.src, lo, hi,
+                               bounded ? rem0 : -1, scratch, budget)) {
+      // Budget expired inside the BFS: the marks are incomplete, so the
+      // whole search is abandoned (zero cycles, partial result).
+      work.searches_truncated += 1;
+      return std::nullopt;
+    }
     if (!scratch.reached(closing.dst) ||
         (bounded && scratch.distance(closing.dst) > rem0)) {
       return std::nullopt;
@@ -333,16 +368,17 @@ std::uint64_t cycles_closed_by_edge(const SlidingWindowGraph& graph,
                                     Timestamp window,
                                     const EnumOptions& options,
                                     StreamSearchScratch& scratch,
-                                    WorkCounters& work, CycleSink* sink) {
+                                    WorkCounters& work, CycleSink* sink,
+                                    SearchBudgetState* budget) {
   std::uint64_t settled = 0;
   const auto prepared = prepare_search(graph, closing, window, options,
-                                       scratch, work, sink, &settled);
+                                       scratch, work, sink, budget, &settled);
   if (!prepared) {
     return settled;
   }
   const StreamSearchParams& params = prepared->params;
   const std::int32_t rem0 = prepared->rem0;
-  SerialStreamSearch search{params, scratch, work, sink};
+  SerialStreamSearch search{params, scratch, work, sink, budget};
   assert(scratch.path_vertices.empty() && scratch.path_edges.empty());
   scratch.path_vertices.push_back(closing.dst);
   scratch.on_path.set(closing.dst);
@@ -351,6 +387,9 @@ std::uint64_t cycles_closed_by_edge(const SlidingWindowGraph& graph,
   scratch.on_path.reset(closing.src);
   scratch.on_path.reset(closing.dst);
   scratch.path_vertices.pop_back();
+  if (search.truncated) {
+    work.searches_truncated += 1;
+  }
   return search.found;
 }
 
@@ -360,10 +399,11 @@ std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
                                          const EnumOptions& options,
                                          const ParallelOptions& popts,
                                          StreamSearchScratch& scratch,
-                                         WorkCounters& work, CycleSink* sink) {
+                                         WorkCounters& work, CycleSink* sink,
+                                         SearchBudgetState* budget) {
   std::uint64_t settled = 0;
   const auto prepared = prepare_search(graph, closing, window, options,
-                                       scratch, work, sink, &settled);
+                                       scratch, work, sink, budget, &settled);
   if (!prepared) {
     return settled;
   }
@@ -373,7 +413,7 @@ std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
   TraceSpan trace(sched.tracer(),
                   static_cast<unsigned>(Scheduler::current_worker_id()),
                   TraceName::kSearchRoot, closing.id);
-  FineStreamRun run{params, sched, popts, sink};
+  FineStreamRun run{params, sched, popts, sink, budget};
   std::vector<VertexId> vertices{closing.dst};
   std::vector<EdgeId> edges;
   WorkCounters local;
@@ -382,6 +422,9 @@ std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
   // are no longer read).
   fine_explore(run, vertices, edges, params.lo - 1, prepared->rem0, local);
   run.merge(local);
+  if (run.truncated.load(std::memory_order_relaxed)) {
+    work.searches_truncated += 1;
+  }
   work.cycles_found += run.cycles.load(std::memory_order_relaxed);
   work.edges_visited += run.edges_visited.load(std::memory_order_relaxed);
   work.vertices_visited +=

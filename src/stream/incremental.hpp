@@ -30,6 +30,7 @@
 #include "core/cycle_types.hpp"
 #include "core/options.hpp"
 #include "graph/types.hpp"
+#include "robust/budget.hpp"
 #include "stream/sliding_window_graph.hpp"
 #include "support/dynamic_bitset.hpp"
 #include "support/scheduler.hpp"
@@ -82,13 +83,22 @@ class StreamSearchScratch {
 // ts < closing.ts). Counters accumulate into `work`; cycles are reported to
 // `sink` (nullable) with the closing hop last, in the library's canonical
 // vertex/edge lockstep convention. Returns the number of cycles closed.
+//
+// `budget` (nullable) is the cooperative deadline: every edge the search (or
+// its reverse-BFS prune) touches charges it, and once it expires the search
+// unwinds, reporting only the cycles found so far — a PARTIAL lower bound,
+// recorded once in work.searches_truncated. In the serial variant the
+// truncation point is deterministic for an edge-visit cap; under the fine
+// variant concurrent branches share the budget, so only the fact of
+// truncation is schedule-independent.
 std::uint64_t cycles_closed_by_edge(const SlidingWindowGraph& graph,
                                     const TemporalEdge& closing,
                                     Timestamp window,
                                     const EnumOptions& options,
                                     StreamSearchScratch& scratch,
                                     WorkCounters& work,
-                                    CycleSink* sink = nullptr);
+                                    CycleSink* sink = nullptr,
+                                    SearchBudgetState* budget = nullptr);
 
 // Fine-grained variant: branches spawn as tasks on `sched` per `popts`
 // (kAdaptive keeps the local deque shallow; kAlways mirrors the paper's
@@ -103,6 +113,7 @@ std::uint64_t fine_cycles_closed_by_edge(const SlidingWindowGraph& graph,
                                          const ParallelOptions& popts,
                                          StreamSearchScratch& scratch,
                                          WorkCounters& work,
-                                         CycleSink* sink = nullptr);
+                                         CycleSink* sink = nullptr,
+                                         SearchBudgetState* budget = nullptr);
 
 }  // namespace parcycle

@@ -6,17 +6,27 @@
 //
 //   [lanes]    u64 count, i64 delta per lane       (validated on restore)
 //   [engine]   push cursor, late/reorder counters, watermarks, batch totals
+//   [robust]   overload-ladder state (level, shifts, calm streak, shed and
+//              error totals) + per-lane sink-guard counters — zeros when the
+//              features are idle, so the layout never varies
 //   [counters] per lane: WorkCounters + cycles/escalated + log2 latency
 //              histogram, merged across workers at save time
 //   [graph]    SlidingWindowGraph::RestoreState — live edges with their
-//              original stream ids, watermark, ingest/expiry totals
+//              original stream ids, watermark, ingest/expiry totals.
+//              Retention-compacted at save: edges the NEXT batch's expiry
+//              phase is already guaranteed to discard are omitted and
+//              accounted as expired, so a snapshot of a stale window does
+//              not serialise dead weight.
 //   [pending]  the unprocessed micro-batch (src, dst, ts)
 //   [reorder]  the in-slack reorder buffer (src, dst, ts)
 //
 // The payload is serialised to memory first so the checksum covers every
 // byte; restore reads the whole payload, verifies the checksum, then parses.
-// Any truncation, corruption, or lane mismatch throws std::runtime_error and
-// leaves the engine unusable rather than half-restored.
+// Restore is parse-then-commit: every field is staged in locals and nothing
+// is written into the engine until the whole payload has validated, so any
+// truncation, corruption, or lane mismatch throws std::runtime_error and
+// leaves the engine UNTOUCHED — still fresh, still restorable from another
+// snapshot generation (robust/snapshot_rotation.cpp relies on this).
 
 #include <algorithm>
 #include <bit>
@@ -40,9 +50,12 @@ static_assert(std::endian::native == std::endian::little,
 
 constexpr char kMagic[4] = {'P', 'S', 'E', '1'};
 // v2: lane latency histograms gained a raw-value sum (obs/histogram.hpp's
-// Log2Histogram replaced the inline bucket array). v1 snapshots are
-// rejected; the engine state they carry predates the histogram refactor.
-constexpr std::uint32_t kVersion = 2;
+// Log2Histogram replaced the inline bucket array).
+// v3: the [robust] section (overload ladder + sink-guard counters) and two
+// new WorkCounters fields (searches_truncated, edges_shed). Older snapshots
+// are rejected: carrying their counters forward with silently-zeroed
+// robustness state would make the resumed totals lie.
+constexpr std::uint32_t kVersion = 3;
 // Upper bound on a plausible payload: rejects absurd sizes from a corrupt
 // header before we try to allocate them.
 constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 33;
@@ -136,6 +149,8 @@ void write_work_counters(BufWriter& w, const WorkCounters& c) {
   w.scalar(c.unblock_operations);
   w.scalar(c.late_edges_rejected);
   w.scalar(c.graph_compactions);
+  w.scalar(c.searches_truncated);
+  w.scalar(c.edges_shed);
 }
 
 WorkCounters read_work_counters(BufReader& r) {
@@ -149,6 +164,8 @@ WorkCounters read_work_counters(BufReader& r) {
   c.unblock_operations = r.scalar<std::uint64_t>("work counters");
   c.late_edges_rejected = r.scalar<std::uint64_t>("work counters");
   c.graph_compactions = r.scalar<std::uint64_t>("work counters");
+  c.searches_truncated = r.scalar<std::uint64_t>("work counters");
+  c.edges_shed = r.scalar<std::uint64_t>("work counters");
   return c;
 }
 
@@ -174,6 +191,26 @@ void StreamEngine::save_snapshot(std::ostream& out) const {
   w.scalar(batches_);
   w.scalar(busy_seconds_);
 
+  // [robust] the overload ladder resumes exactly where it was (including the
+  // calm-batch streak, so hysteresis does not reset across a restart), and
+  // guarded-sink counters survive even though the guards themselves are
+  // rebuilt. Lanes without a guard serialise zeros.
+  w.scalar<std::uint32_t>(static_cast<std::uint32_t>(overload_level_));
+  w.scalar(overload_shifts_);
+  w.scalar(calm_batches_);
+  w.scalar(edges_shed_);
+  w.scalar(search_errors_);
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    SinkGuardStats gs;
+    if (sink_guards_[lane] != nullptr) {
+      gs = sink_guards_[lane]->stats();
+    }
+    w.scalar(gs.delivered);
+    w.scalar(gs.errors);
+    w.scalar(gs.dropped);
+    w.scalar<std::uint8_t>(gs.quarantined ? 1 : 0);
+  }
+
   // [counters] merged across workers: the restored engine does not need to
   // know how the work was spread, only the totals each lane accumulated.
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
@@ -195,19 +232,42 @@ void StreamEngine::save_snapshot(std::ostream& out) const {
     w.scalar(merged.latency.max);
   }
 
-  // [graph]
+  // [graph] with retention compaction. The window only expires lazily — at
+  // the START of the next batch, with cutoff `front.ts - retention` — so
+  // between batches the live log can hold edges no future search will ever
+  // visit. Compute the lowest timestamp the next batch front can possibly
+  // carry (the pending front if one exists, otherwise the reorder minimum /
+  // the floor below which push() rejects arrivals as late) and drop the log
+  // prefix that cutoff is guaranteed to expire, accounting it as expired so
+  // the restored graph's totals and arrival-rank ids stay exact.
+  Timestamp next_front =
+      options_.reorder_slack == 0 ? last_pushed_ts_ : reorder_floor_;
+  if (!reorder_heap_.empty()) {
+    next_front = std::min(next_front, reorder_heap_.front().ts);
+  }
+  if (!pending_.empty()) {
+    next_front = std::min(next_front, pending_.front().ts);
+  }
+  constexpr Timestamp kLowestTs = std::numeric_limits<Timestamp>::min();
+  const Timestamp cutoff =
+      next_front < kLowestTs + retention_ ? kLowestTs : next_front - retention_;
+  const auto live = graph_.live_log();
+  std::size_t drop = 0;  // the log is ts-ascending: expired edges are a prefix
+  while (drop < live.size() && live[drop].ts < cutoff) {
+    drop += 1;
+  }
   w.scalar<std::uint64_t>(graph_.num_vertices());
-  w.scalar(graph_.watermark());
+  w.scalar(drop > 0 ? std::max(graph_.watermark(), cutoff)
+                    : graph_.watermark());
   w.scalar(graph_.last_timestamp());
   w.scalar(graph_.next_edge_id());
   w.scalar(graph_.total_ingested());
-  w.scalar(graph_.total_expired());
+  w.scalar(graph_.total_expired() + drop);
   w.scalar(graph_.expiry_epochs());
   w.scalar(graph_.compactions());
   w.scalar(graph_.compacted_slots());
-  const auto live = graph_.live_log();
-  w.scalar<std::uint64_t>(live.size());
-  for (const TemporalEdge& e : live) {
+  w.scalar<std::uint64_t>(live.size() - drop);
+  for (const TemporalEdge& e : live.subspan(drop)) {
     w.edge_site(e);
     w.scalar(e.id);
   }
@@ -281,6 +341,9 @@ void StreamEngine::restore_snapshot(std::istream& in) {
 
   BufReader r(payload);
 
+  // ---- Parse phase: everything lands in locals; the engine is not touched
+  // until the whole payload (including the trailing-bytes check) validates.
+
   // [lanes] must match this engine's configuration: a snapshot's counters
   // and retention horizon are meaningless under different window lanes.
   const auto lane_count = r.count(sizeof(Timestamp), "window lanes");
@@ -294,20 +357,37 @@ void StreamEngine::restore_snapshot(std::istream& in) {
   }
 
   // [engine]
-  edges_pushed_ = r.scalar<std::uint64_t>("engine state");
-  late_rejected_ = r.scalar<std::uint64_t>("engine state");
-  reorder_peak_buffered_ = r.scalar<std::uint64_t>("engine state");
-  last_pushed_ts_ = r.scalar<Timestamp>("engine state");
-  reorder_max_seen_ = r.scalar<Timestamp>("engine state");
-  reorder_floor_ = r.scalar<Timestamp>("engine state");
-  cycles_found_ = r.scalar<std::uint64_t>("engine state");
-  batches_ = r.scalar<std::uint64_t>("engine state");
-  busy_seconds_ = r.scalar<double>("engine state");
+  const auto s_edges_pushed = r.scalar<std::uint64_t>("engine state");
+  const auto s_late_rejected = r.scalar<std::uint64_t>("engine state");
+  const auto s_reorder_peak = r.scalar<std::uint64_t>("engine state");
+  const auto s_last_pushed_ts = r.scalar<Timestamp>("engine state");
+  const auto s_reorder_max_seen = r.scalar<Timestamp>("engine state");
+  const auto s_reorder_floor = r.scalar<Timestamp>("engine state");
+  const auto s_cycles_found = r.scalar<std::uint64_t>("engine state");
+  const auto s_batches = r.scalar<std::uint64_t>("engine state");
+  const auto s_busy_seconds = r.scalar<double>("engine state");
 
-  // [counters] land merged on worker 0; stats() only ever sums across
-  // workers, so the split is unobservable.
+  // [robust]
+  const auto s_overload_raw = r.scalar<std::uint32_t>("overload state");
+  if (s_overload_raw >= static_cast<std::uint32_t>(kOverloadLevels)) {
+    corrupt("overload level out of range");
+  }
+  const auto s_overload_shifts = r.scalar<std::uint64_t>("overload state");
+  const auto s_calm_batches = r.scalar<std::uint64_t>("overload state");
+  const auto s_edges_shed = r.scalar<std::uint64_t>("overload state");
+  const auto s_search_errors = r.scalar<std::uint64_t>("overload state");
+  std::vector<SinkGuardStats> s_guard_stats(deltas_.size());
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
-    LaneCounters& c = sinks_[0]->lanes[lane];
+    SinkGuardStats& gs = s_guard_stats[lane];
+    gs.delivered = r.scalar<std::uint64_t>("sink guard stats");
+    gs.errors = r.scalar<std::uint64_t>("sink guard stats");
+    gs.dropped = r.scalar<std::uint64_t>("sink guard stats");
+    gs.quarantined = r.scalar<std::uint8_t>("sink guard stats") != 0;
+  }
+
+  // [counters]
+  std::vector<LaneCounters> s_lanes(deltas_.size());
+  for (LaneCounters& c : s_lanes) {
     c.work = read_work_counters(r);
     c.cycles = r.scalar<std::uint64_t>("lane counters");
     c.escalated = r.scalar<std::uint64_t>("lane counters");
@@ -341,26 +421,22 @@ void StreamEngine::restore_snapshot(std::istream& in) {
     e.id = r.scalar<EdgeId>("live edge id");
     state.live_edges.push_back(e);
   }
-  try {
-    graph_.restore(state);
-  } catch (const std::invalid_argument& err) {
-    // Checksum-valid but semantically inconsistent: same contract as any
-    // other corruption.
-    corrupt(err.what());
-  }
 
   // [pending] and [reorder]
   const std::size_t site_bytes = 2 * sizeof(VertexId) + sizeof(Timestamp);
   const auto pending_count = r.count(site_bytes, "pending batch");
-  pending_.reserve(std::max<std::size_t>(pending_count, options_.batch_size));
+  std::vector<TemporalEdge> s_pending;
+  s_pending.reserve(std::max<std::size_t>(pending_count, options_.batch_size));
   for (std::uint64_t i = 0; i < pending_count; ++i) {
-    pending_.push_back(r.edge_site("pending edge"));
+    s_pending.push_back(r.edge_site("pending edge"));
   }
   const auto reorder_count = r.count(site_bytes, "reorder buffer");
+  std::vector<TemporalEdge> s_reorder;
+  s_reorder.reserve(reorder_count);
   for (std::uint64_t i = 0; i < reorder_count; ++i) {
-    reorder_heap_.push_back(r.edge_site("reorder edge"));
+    s_reorder.push_back(r.edge_site("reorder edge"));
   }
-  std::make_heap(reorder_heap_.begin(), reorder_heap_.end(),
+  std::make_heap(s_reorder.begin(), s_reorder.end(),
                  [](const TemporalEdge& a, const TemporalEdge& b) {
                    if (a.ts != b.ts) return b.ts < a.ts;
                    if (a.src != b.src) return b.src < a.src;
@@ -369,6 +445,44 @@ void StreamEngine::restore_snapshot(std::istream& in) {
   if (!r.exhausted()) {
     corrupt("trailing bytes after payload");
   }
+
+  // ---- Commit phase. graph_.restore still performs semantic validation and
+  // is the first commit step: on failure it leaves the graph empty (still a
+  // fresh engine), and no other member has been written yet.
+  try {
+    graph_.restore(state);
+  } catch (const std::invalid_argument& err) {
+    // Checksum-valid but semantically inconsistent: same contract as any
+    // other corruption.
+    corrupt(err.what());
+  }
+  edges_pushed_ = s_edges_pushed;
+  late_rejected_ = s_late_rejected;
+  reorder_peak_buffered_ = s_reorder_peak;
+  last_pushed_ts_ = s_last_pushed_ts;
+  reorder_max_seen_ = s_reorder_max_seen;
+  reorder_floor_ = s_reorder_floor;
+  cycles_found_ = s_cycles_found;
+  batches_ = s_batches;
+  busy_seconds_ = s_busy_seconds;
+  overload_level_ = static_cast<OverloadLevel>(s_overload_raw);
+  overload_shifts_ = s_overload_shifts;
+  calm_batches_ = s_calm_batches;
+  edges_shed_ = s_edges_shed;
+  search_errors_ = s_search_errors;
+  for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
+    // Counters land merged on worker 0; stats() only ever sums across
+    // workers, so the split is unobservable.
+    sinks_[0]->lanes[lane] = s_lanes[lane];
+    // Guard counters re-seed a live guard; on an unguarded engine the saved
+    // totals still exist in the snapshot but have no runtime object to live
+    // in, so they are dropped.
+    if (sink_guards_[lane] != nullptr) {
+      sink_guards_[lane]->restore_stats(s_guard_stats[lane]);
+    }
+  }
+  pending_ = std::move(s_pending);
+  reorder_heap_ = std::move(s_reorder);
 }
 
 void StreamEngine::save_snapshot_file(const std::string& path) const {

@@ -254,7 +254,19 @@ class TaskGroup {
   // Binds to the scheduler active on this thread.
   TaskGroup();
   explicit TaskGroup(Scheduler& sched) : sched_(sched) {}
-  ~TaskGroup() { assert(pending_.load(std::memory_order_relaxed) == 0); }
+  // A spawn loop can unwind with tasks already in flight (an allocation
+  // failure mid-fan-out, for instance), so the destructor drains the group
+  // instead of asserting quiescence: unwinding must never abandon live
+  // tasks that still point at this group. Task exceptions raised during the
+  // drain are swallowed — the destructor context has nowhere to rethrow.
+  ~TaskGroup() {
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      try {
+        wait();
+      } catch (...) {
+      }
+    }
+  }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;

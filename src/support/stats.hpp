@@ -49,6 +49,11 @@ struct WorkCounters {
   // adjacency lists and the arrival log).
   std::uint64_t late_edges_rejected = 0;
   std::uint64_t graph_compactions = 0;
+  // Robustness accounting (zero unless overload protection engages):
+  // searches the cooperative budget truncated (their cycle counts are lower
+  // bounds) and arrivals the overload ladder shed before ingest.
+  std::uint64_t searches_truncated = 0;
+  std::uint64_t edges_shed = 0;
 
   WorkCounters& operator+=(const WorkCounters& other) {
     edges_visited += other.edges_visited;
@@ -60,6 +65,8 @@ struct WorkCounters {
     unblock_operations += other.unblock_operations;
     late_edges_rejected += other.late_edges_rejected;
     graph_compactions += other.graph_compactions;
+    searches_truncated += other.searches_truncated;
+    edges_shed += other.edges_shed;
     return *this;
   }
 };

@@ -21,7 +21,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
+
+#include "robust/fault_injection.hpp"
 
 namespace parcycle {
 
@@ -126,6 +129,13 @@ class TaskSlab {
   }
 
   void grow() {
+    // Named injection point: the growth path is the slab's only allocation,
+    // so this is where a real bad_alloc would surface. TaskGroup::spawn's
+    // exception path (block release + pending_ roll-back) and the stream
+    // engine's batch isolation are tested through here.
+    if (FaultInjector::should_fire(FaultPoint::kSlabGrow)) {
+      throw std::bad_alloc();
+    }
     auto chunk = std::make_unique<Chunk>();
     stats_.chunks_allocated += 1;
     for (std::size_t i = kTaskSlabChunkBlocks; i-- > 0;) {

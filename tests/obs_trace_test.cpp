@@ -42,8 +42,18 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc{};
 }
 
+// The nothrow variant must be replaced alongside the throwing one: libstdc++'s
+// temporary buffers (std::stable_sort in the exporter) allocate through it but
+// deallocate through plain operator delete, so a malloc-based delete paired
+// with the default nothrow new is an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace parcycle {
 namespace {

@@ -225,6 +225,43 @@ TEST(StreamSnapshot, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(StreamSnapshot, RetentionCompactionDropsDeadWindow) {
+  const TemporalGraph graph = test_graph();
+  const StreamOptions options = engine_options();  // batch 32, window 150
+  const auto edges = graph.edges_by_time();
+  std::stringstream full_snap;
+  std::stringstream compact_snap;
+  StreamStats live_stats;
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, nullptr);
+    for (std::size_t i = 0; i < 96; ++i) {  // 3 full batches, pending empty
+      engine.push(edges[i].src, edges[i].dst, edges[i].ts);
+    }
+    ASSERT_GT(engine.stats().live_edges, 0u);
+    engine.save_snapshot(full_snap);
+    // A pending arrival a full retention beyond the newest edge makes every
+    // currently-live edge unreachable for all future searches: the next
+    // snapshot must not serialise that dead window.
+    engine.push(edges[95].src, edges[95].dst, edges[95].ts + 10 * kWindow);
+    live_stats = engine.stats();
+    engine.save_snapshot(compact_snap);
+  });
+  // Size assertion: the compacted snapshot carries one pending edge instead
+  // of the whole stale window, so it must be strictly smaller even though it
+  // captured MORE of the stream.
+  EXPECT_LT(compact_snap.str().size(), full_snap.str().size());
+  Scheduler::with_pool(1, [&](Scheduler& sched) {
+    StreamEngine engine(options, sched, nullptr);
+    engine.restore_snapshot(compact_snap);
+    const StreamStats restored = engine.stats();
+    EXPECT_EQ(restored.edges_pushed, live_stats.edges_pushed);
+    EXPECT_EQ(restored.live_edges, 0u);  // dead window accounted as expired
+    EXPECT_EQ(restored.expired_edges, restored.edges_ingested);
+    engine.flush();  // the far-future pending edge still ingests cleanly
+    EXPECT_EQ(engine.stats().edges_ingested, live_stats.edges_ingested + 1);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Rejection: truncation, corruption, configuration mismatch
 // ---------------------------------------------------------------------------

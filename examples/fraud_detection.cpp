@@ -48,6 +48,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -58,6 +59,8 @@
 #include "core/fine_hc_dfs.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "robust/fault_injection.hpp"
@@ -126,8 +129,10 @@ int main(int argc, char** argv) {
                      "  [--snapshot <path>] [--snapshot-every N] "
                      "[--restore <path>] [--feed-delay-us U]\n"
                      "  [--trace-out <file>] [--metrics-out <file>] "
-                     "[--metrics-every N]\n"
-                     "  [--inject <spec>] [--overload-high N]\n"
+                     "[--metrics-every N] [--metrics-every-ms M]\n"
+                     "  [--inject <spec>] [--overload-high N] "
+                     "[--serve[=port]] [--slo <spec>]\n"
+                     "  [--serve-linger-ms M] [--adaptive-budget K]\n"
                      "Finds temporal cycles plus hop-constrained (<= max_hops "
                      "edges, order-agnostic) rings in a synthetic payment "
                      "network (defaults: 2000 accounts, 20000 transfers, 4 "
@@ -153,7 +158,23 @@ int main(int argc, char** argv) {
                      "snapshot_truncate snapshot_bitflip\nfeed_stall "
                      "feed_burst; keys: every/after/limit/param/prob). "
                      "--overload-high sets the\nbuffered-arrival watermark "
-                     "where the engine's overload ladder starts degrading."
+                     "where the engine's overload ladder starts degrading.\n"
+                     "--metrics-every-ms dumps --metrics-out on a wall-clock "
+                     "cadence instead of an\nedge-count one (preferred: "
+                     "uniform dumps regardless of feed rate).\n--serve runs a "
+                     "live introspection HTTP server on 127.0.0.1 during the "
+                     "monitor feed\n(port 0 = ephemeral, printed as 'serving "
+                     "introspection on http://...'), exposing\n/metrics "
+                     "(Prometheus), /statusz (human status), /healthz (503 "
+                     "while shedding),\nand /tracez (recent per-worker trace "
+                     "events). --slo adds objectives evaluated\neach sampler "
+                     "tick, e.g. --slo \"p99_search_ns<2000000;"
+                     "shed_fraction<0.05@0.1\".\n--serve-linger-ms keeps "
+                     "serving (and stepping the overload ladder down via\n"
+                     "empty flushes) that long after the feed completes. "
+                     "--adaptive-budget K re-seeds\nthe degraded search "
+                     "budget from K x rolling-p99 while overloaded (static "
+                     "value\nstays the floor; 0 = off)."
                      "\n\nexit codes:\n"
                      "  0  success (monitor total matches the batch scan, or "
                      "conservation holds\n     under injection)\n"
@@ -172,9 +193,15 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::uint64_t snapshot_every = 2000;
   std::uint64_t metrics_every = 2000;
+  std::uint64_t metrics_every_ms = 0;  // 0 = edge-count cadence
   long feed_delay_us = 0;
   std::string inject_spec;
   std::size_t overload_high = SIZE_MAX;
+  bool serve = false;
+  long serve_port = 0;
+  long serve_linger_ms = 0;
+  double adaptive_budget_k = 0.0;
+  std::string slo_spec;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--monitor") == 0) {
@@ -193,6 +220,20 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
       metrics_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-every-ms") == 0 &&
+               i + 1 < argc) {
+      metrics_every_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve = true;
+      serve_port = std::atol(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--serve-linger-ms") == 0 && i + 1 < argc) {
+      serve_linger_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--adaptive-budget") == 0 && i + 1 < argc) {
+      adaptive_budget_k = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
       inject_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--overload-high") == 0 && i + 1 < argc) {
@@ -223,6 +264,10 @@ int main(int argc, char** argv) {
   if (accounts_arg < 2 || transfers_arg < 1 || max_hops < 1) {
     std::cerr << "invalid arguments: need num_accounts >= 2, num_transfers "
                  ">= 1, max_hops >= 1\n";
+    return 2;
+  }
+  if (serve_port < 0 || serve_port > 65535) {
+    std::cerr << "invalid --serve port: " << serve_port << "\n";
     return 2;
   }
   const VertexId accounts = static_cast<VertexId>(accounts_arg);
@@ -260,12 +305,15 @@ int main(int argc, char** argv) {
   // Recorder and export guard are declared before the Scheduler: destruction
   // order tears the pool down first (the destructor records worker 0's final
   // busy span), so the guard's ring read is join-ordered and race-free. The
-  // guard covers every return path below.
+  // guard covers every return path below. --serve enables the recorder too
+  // (for /tracez) and puts it in concurrent-reads mode so the serving thread
+  // may read the rings while workers record.
   TraceRecorder recorder(4, TraceRecorder::kDefaultCapacity,
-                         /*enabled=*/!trace_path.empty());
+                         /*enabled=*/!trace_path.empty() || serve,
+                         /*concurrent_reads=*/serve);
   ScopedTraceExport trace_export(recorder, trace_path, "fraud_detection");
   Scheduler sched(4, sched_options);
-  if (!trace_path.empty()) {
+  if (recorder.enabled()) {
     sched.set_tracer(&recorder);
   }
   const EnumResult result =
@@ -354,6 +402,58 @@ int main(int argc, char** argv) {
     }
     return true;
   };
+  // Live introspection: the sampler is constructed before the first push
+  // (its constructor arms the engine's concurrent-stats path) and declared
+  // after the engine/scheduler so it is destroyed first; the server after
+  // the sampler so its handlers never outlive what they render.
+  std::unique_ptr<TimeSeriesSampler> sampler;
+  std::unique_ptr<IntrospectionServer> server;
+  if (serve) {
+    TimeSeriesOptions ts_options;
+    ts_options.slo_spec = slo_spec;
+    ts_options.adaptive_budget_multiplier = adaptive_budget_k;
+    try {
+      sampler = std::make_unique<TimeSeriesSampler>(engine, sched, ts_options);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "invalid --slo spec: " << error.what() << "\n";
+      return 2;
+    }
+    sampler->start();
+    IntrospectionOptions http_options;
+    http_options.port = static_cast<std::uint16_t>(serve_port);
+    server = std::make_unique<IntrospectionServer>(http_options);
+    server->add_handler("/metrics", [&sampler] {
+      HttpResponse r;
+      r.body = sampler->render_prometheus();
+      return r;
+    });
+    server->add_handler("/statusz", [&sampler] {
+      HttpResponse r;
+      r.body = sampler->render_statusz();
+      return r;
+    });
+    server->add_handler("/healthz", [&sampler] {
+      const TimeSeriesSampler::Health health = sampler->health();
+      HttpResponse r;
+      r.status = health.ok ? 200 : 503;
+      r.body = health.text;
+      return r;
+    });
+    server->add_handler("/tracez", [&recorder] {
+      HttpResponse r;
+      r.body = render_tracez_text(recorder);
+      return r;
+    });
+    std::string serve_error;
+    if (!server->start(&serve_error)) {
+      std::cerr << "introspection server failed: " << serve_error << "\n";
+      return 1;
+    }
+    // CI greps this exact line to learn the ephemeral port; flushed
+    // explicitly because stdout is block-buffered under a pipe.
+    std::cout << "serving introspection on http://127.0.0.1:" << server->port()
+              << "/" << std::endl;
+  }
   std::uint64_t resume_at = 0;
   WallTimer feed_timer;
   try {
@@ -373,6 +473,12 @@ int main(int argc, char** argv) {
     feed_timer.reset();
     const auto feed = payments.edges_by_time();
     std::uint64_t burst_remaining = 0;
+    // Wall-clock metrics cadence: dumps land every M ms of real time no
+    // matter how fast or throttled the feed is (edge-count cadence drifts
+    // with --feed-delay-us). Active only with --metrics-every-ms.
+    const bool metrics_by_time = metrics_every_ms > 0 && !metrics_path.empty();
+    std::uint64_t next_metrics_ns =
+        metrics_by_time ? trace_now_ns() + metrics_every_ms * 1000000 : 0;
     for (std::uint64_t i = resume_at; i < feed.size(); ++i) {
       const auto& transfer = feed[i];
       engine.push(transfer.src, transfer.dst, transfer.ts);
@@ -396,8 +502,14 @@ int main(int argc, char** argv) {
           engine.edges_pushed() % snapshot_every == 0) {
         save_snapshot_rotated(engine, snapshot_path);
       }
-      if (!metrics_path.empty() && metrics_every > 0 &&
-          engine.edges_pushed() % metrics_every == 0) {
+      if (metrics_by_time) {
+        const std::uint64_t now_ns = trace_now_ns();
+        if (now_ns >= next_metrics_ns) {
+          dump_metrics();
+          next_metrics_ns = now_ns + metrics_every_ms * 1000000;
+        }
+      } else if (!metrics_path.empty() && metrics_every > 0 &&
+                 engine.edges_pushed() % metrics_every == 0) {
         dump_metrics();
       }
       if (g_terminate.load(std::memory_order_relaxed)) {
@@ -420,6 +532,20 @@ int main(int argc, char** argv) {
   }
   // For a restored run this times the replayed suffix only — informational.
   const double feed_seconds = feed_timer.elapsed_seconds();
+  if (serve && serve_linger_ms > 0) {
+    // Keep the endpoints up after the feed so a scraper can observe
+    // recovery: each empty flush is a batch boundary, letting the overload
+    // ladder step back down to kNormal and /healthz return to 200. Outside
+    // the feed timer — lingering is serving time, not ingest time.
+    std::cout << "monitor: lingering " << serve_linger_ms
+              << "ms for scrapers" << std::endl;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(serve_linger_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      engine.flush();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   const StreamStats stream_stats = engine.stats();
   if (alerts.alerts() > 5) {
     std::cout << "  ... and " << alerts.alerts() - 5 << " more alerts\n";

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "bench_support/datasets.hpp"
@@ -45,6 +46,8 @@
 #include "core/tiernan.hpp"
 #include "io/edge_list.hpp"
 #include "io/graph_cache.hpp"
+#include "obs/server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "stream/engine.hpp"
@@ -90,6 +93,7 @@ int usage() {
                "[--no-cycle-union] [--no-bundling] [--print]\n"
                "  [--stream] [--stream-batch N] [--stream-windows W1,W2,...] "
                "[--stream-slack S]\n"
+               "  [--serve[=port]] [--slo <spec>]\n"
                "  [--snapshot-path <path>] [--snapshot-every N] "
                "[--restore <path>] [--trace-out <file>]\n"
                "  [--dataset-file <path>] [--dataset <NAME>] "
@@ -116,7 +120,13 @@ int usage() {
                "--trace-out records per-worker spans (tasks, steals, "
                "search roots, stream batches) and writes\na Chrome "
                "trace_event JSON on exit — load it in Perfetto or "
-               "chrome://tracing.\n";
+               "chrome://tracing.\n"
+               "--serve (with --stream) runs a live introspection HTTP server "
+               "on 127.0.0.1 for the duration of\nthe replay: /metrics "
+               "(Prometheus), /statusz, /healthz, /tracez. Port 0 (default) "
+               "picks an\nephemeral port, printed on startup. --slo adds "
+               "objectives evaluated each sampler tick, e.g.\n"
+               "--slo \"p99_search_ns<2000000;shed_fraction<0.05@0.1\".\n";
   return 2;
 }
 
@@ -150,6 +160,9 @@ int main(int argc, char** argv) {
   std::string restore_path;
   std::string trace_path;
   std::uint64_t snapshot_every = 0;
+  bool serve = false;
+  long serve_port = 0;
+  std::string slo_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -217,6 +230,13 @@ int main(int argc, char** argv) {
       restore_path = next() ? argv[i] : "";
     } else if (arg == "--trace-out") {
       trace_path = next() ? argv[i] : "";
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve = true;
+      serve_port = std::atol(arg.c_str() + 8);
+    } else if (arg == "--slo") {
+      slo_spec = next() ? argv[i] : "";
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -239,10 +259,11 @@ int main(int argc, char** argv) {
     sched_options.timing = TimingMode::kPerTask;
   }
   TraceRecorder recorder(std::max(1u, threads), TraceRecorder::kDefaultCapacity,
-                         /*enabled=*/!trace_path.empty());
+                         /*enabled=*/!trace_path.empty() || serve,
+                         /*concurrent_reads=*/serve);
   ScopedTraceExport trace_export(recorder, trace_path, "parcycle_cli");
   Scheduler sched(threads, sched_options);
-  if (!trace_path.empty()) {
+  if (recorder.enabled()) {
     sched.set_tracer(&recorder);
   }
   Scheduler* load_sched = serial_load ? nullptr : &sched;
@@ -318,6 +339,15 @@ int main(int argc, char** argv) {
                  "retention horizon)\n";
     return usage();
   }
+  if (serve && !stream) {
+    std::cerr << "error: --serve introspects the live stream engine; pass "
+                 "--stream too\n";
+    return usage();
+  }
+  if (serve_port < 0 || serve_port > 65535) {
+    std::cerr << "error: invalid --serve port\n";
+    return usage();
+  }
 
   if (stream) {
     StreamOptions stream_options;
@@ -329,6 +359,55 @@ int main(int argc, char** argv) {
     stream_options.use_reach_prune = options.use_cycle_union;
     stream_options.num_vertices_hint = graph.num_vertices();
     StreamEngine engine(stream_options, sched, sink);
+    // Constructed before the first push (arms the engine's concurrent-stats
+    // path); the server is declared after the sampler so handlers never
+    // outlive what they render.
+    std::unique_ptr<TimeSeriesSampler> sampler;
+    std::unique_ptr<IntrospectionServer> server;
+    if (serve) {
+      TimeSeriesOptions ts_options;
+      ts_options.slo_spec = slo_spec;
+      try {
+        sampler =
+            std::make_unique<TimeSeriesSampler>(engine, sched, ts_options);
+      } catch (const std::invalid_argument& error) {
+        std::cerr << "invalid --slo spec: " << error.what() << "\n";
+        return usage();
+      }
+      sampler->start();
+      IntrospectionOptions http_options;
+      http_options.port = static_cast<std::uint16_t>(serve_port);
+      server = std::make_unique<IntrospectionServer>(http_options);
+      server->add_handler("/metrics", [&sampler] {
+        HttpResponse r;
+        r.body = sampler->render_prometheus();
+        return r;
+      });
+      server->add_handler("/statusz", [&sampler] {
+        HttpResponse r;
+        r.body = sampler->render_statusz();
+        return r;
+      });
+      server->add_handler("/healthz", [&sampler] {
+        const TimeSeriesSampler::Health health = sampler->health();
+        HttpResponse r;
+        r.status = health.ok ? 200 : 503;
+        r.body = health.text;
+        return r;
+      });
+      server->add_handler("/tracez", [&recorder] {
+        HttpResponse r;
+        r.body = render_tracez_text(recorder);
+        return r;
+      });
+      std::string serve_error;
+      if (!server->start(&serve_error)) {
+        std::cerr << "introspection server failed: " << serve_error << "\n";
+        return 1;
+      }
+      std::cerr << "serving introspection on http://127.0.0.1:"
+                << server->port() << "/" << std::endl;
+    }
     const auto edges = graph.edges_by_time();
     std::uint64_t start = 0;
     try {

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Scrape and validate a live parcycle introspection server.
+
+Usage:
+    scrape_endpoints.py --port P [--host H] [--expect name=value ...]
+                        [--save-metrics FILE] [--watch-seconds S]
+                        [--require-health-flip] [--timeout T]
+
+Polls the four endpoints a --serve run exposes and validates each:
+
+* /metrics  — parsed with trace_summary's Prometheus checker (every family
+  needs # TYPE and # HELP, histogram buckets monotonic, _count == +Inf);
+  optional --expect name=value exact checks against scalar samples.
+* /statusz  — must be 200 with the "parcycle statusz" banner.
+* /healthz  — must answer 200 (body starts "ok") or 503 (body starts
+  "shedding"); any other status fails.
+* /tracez   — must be 200 with the "tracez:" banner.
+
+--watch-seconds keeps re-polling /healthz (and /metrics, to confirm the
+registry keeps updating) for that long. With --require-health-flip the run
+fails unless /healthz was observed BOTH unhealthy (503) and healthy (200)
+during the watch — CI uses this to prove the endpoint actually tracks the
+overload ladder through an injected shed and its recovery.
+
+--save-metrics writes the last successful /metrics body to a file so the
+caller can later compare scraped totals against the run's final counters.
+
+Exit status: 0 on success, 1 on any validation failure, 2 on usage errors.
+"""
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from trace_summary import check_metrics  # noqa: E402
+
+
+def fail(msg):
+    print(f"scrape_endpoints: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(url, timeout, tolerate_down=False):
+    """Returns (status, body_text); HTTP error statuses are returned, not
+    raised, so 503 from a shedding /healthz is an observation, not an error.
+    With tolerate_down, a dead server returns (None, None) instead of failing
+    — the watch loop uses this to detect the end of a finite run."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8", "replace")
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode("utf-8", "replace")
+    except (urllib.error.URLError, OSError) as err:
+        if tolerate_down:
+            return None, None
+        fail(f"cannot fetch {url}: {err}")
+
+
+def check_metrics_body(body, expectations, tmp_dir):
+    """Runs trace_summary's validator over a scraped /metrics body (it is
+    file-based, so the body lands in a temp file first)."""
+    path = tmp_dir / "scraped_metrics.prom"
+    path.write_text(body, encoding="utf-8")
+    check_metrics(str(path), expectations)  # exits 1 itself on failure
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Scrape and validate a live introspection server")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--expect", action="append", default=[],
+                        help="require /metrics sample name=value exactly")
+    parser.add_argument("--save-metrics",
+                        help="write the last scraped /metrics body here")
+    parser.add_argument("--watch-seconds", type=float, default=0.0,
+                        help="keep polling /healthz for this long")
+    parser.add_argument("--require-health-flip", action="store_true",
+                        help="fail unless /healthz was seen both 503 and 200 "
+                             "during the watch")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-request timeout in seconds (default 5)")
+    parser.add_argument("--tmp-dir", default="/tmp",
+                        help="where the scraped metrics temp file lands")
+    args = parser.parse_args()
+    if args.require_health_flip and args.watch_seconds <= 0:
+        parser.error("--require-health-flip needs --watch-seconds > 0")
+
+    base = f"http://{args.host}:{args.port}"
+    tmp_dir = Path(args.tmp_dir)
+
+    status, metrics_body = fetch(f"{base}/metrics", args.timeout)
+    if status != 200:
+        fail(f"/metrics answered {status}")
+    check_metrics_body(metrics_body, args.expect, tmp_dir)
+
+    status, statusz = fetch(f"{base}/statusz", args.timeout)
+    if status != 200:
+        fail(f"/statusz answered {status}")
+    if "parcycle statusz" not in statusz:
+        fail(f"/statusz body lacks the banner: {statusz[:120]!r}")
+
+    status, healthz = fetch(f"{base}/healthz", args.timeout)
+    if status not in (200, 503):
+        fail(f"/healthz answered {status}")
+    if status == 200 and not healthz.startswith("ok"):
+        fail(f"/healthz 200 with non-ok body: {healthz!r}")
+    if status == 503 and not healthz.startswith("shedding"):
+        fail(f"/healthz 503 with non-shedding body: {healthz!r}")
+    seen_health = {status}
+
+    status, tracez = fetch(f"{base}/tracez", args.timeout)
+    if status != 200:
+        fail(f"/tracez answered {status}")
+    if "tracez:" not in tracez:
+        fail(f"/tracez body lacks the banner: {tracez[:120]!r}")
+
+    print(f"scrape_endpoints: all four endpoints up on {base} "
+          f"(healthz={sorted(seen_health)})")
+
+    deadline = time.monotonic() + args.watch_seconds
+    while time.monotonic() < deadline:
+        status, _ = fetch(f"{base}/healthz", args.timeout, tolerate_down=True)
+        if status is None:
+            print("scrape_endpoints: server went away (run finished); "
+                  "ending watch")
+            break
+        if status not in (200, 503):
+            fail(f"/healthz answered {status} during watch")
+        seen_health.add(status)
+        status, body = fetch(f"{base}/metrics", args.timeout,
+                             tolerate_down=True)
+        if status == 200:
+            metrics_body = body
+        elif status is not None:
+            fail(f"/metrics answered {status} during watch")
+        time.sleep(0.05)
+
+    if args.require_health_flip and seen_health != {200, 503}:
+        fail(f"health flip not observed: saw statuses {sorted(seen_health)} "
+             f"(need both 200 and 503)")
+    if args.watch_seconds > 0:
+        print(f"scrape_endpoints: watch done, healthz statuses seen: "
+              f"{sorted(seen_health)}")
+
+    if args.save_metrics:
+        Path(args.save_metrics).write_text(metrics_body, encoding="utf-8")
+        print(f"scrape_endpoints: metrics saved to {args.save_metrics}")
+    print("scrape_endpoints: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,8 @@ timing — else the union of task spans under per-task timing), steal counts,
 and the top K longest spans.
 
 Metrics mode validates the Prometheus text exposition written by
---metrics-out: HELP/TYPE comments, histogram bucket monotonicity,
+--metrics-out (or scraped from /metrics): every exposed family must carry
+both # TYPE and # HELP lines, histogram bucket monotonicity,
 _count == the +Inf bucket, and optional --expect name=value exact checks
 against scalar samples (labels are part of the name key:
 'parcycle_stream_cycles_found_total' or
@@ -165,6 +166,7 @@ def parse_prometheus(path):
     samples = {}
     buckets = defaultdict(list)  # family (with non-le labels) -> [(le, val)]
     typed = {}
+    helped = {}
     try:
         lines = open(path, "r", encoding="utf-8").read().splitlines()
     except OSError as err:
@@ -178,6 +180,8 @@ def parse_prometheus(path):
             if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
                 if parts[1] == "TYPE":
                     typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+                else:
+                    helped[parts[2]] = parts[3] if len(parts) > 3 else ""
                 continue
             fail(f"{path}:{lineno}: malformed comment line: {line}")
         # name{labels} value | name value
@@ -197,13 +201,35 @@ def parse_prometheus(path):
             family = name[: -len("_bucket")]
             rest = ",".join(f"{k}={v}" for k, v in sorted(pairs.items()))
             buckets[(family, rest)].append((le.strip('"'), value))
-    return samples, buckets, typed
+    return samples, buckets, typed, helped
+
+
+def sample_family(key, typed, helped):
+    """Metric family a sample belongs to: the name without labels, with a
+    histogram series suffix (_bucket/_sum/_count) stripped when the base name
+    is the declared family."""
+    name = key.split("{", 1)[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in typed or base in helped:
+                return base
+    return name
 
 
 def check_metrics(path, expectations):
-    samples, buckets, typed = parse_prometheus(path)
+    samples, buckets, typed, helped = parse_prometheus(path)
     if not samples:
         fail(f"{path}: no samples")
+    # Every exposed family must carry both a # TYPE and a # HELP line —
+    # a scraper-facing contract, enforced so new families can't silently
+    # ship undocumented.
+    for key in samples:
+        family = sample_family(key, typed, helped)
+        if family not in typed:
+            fail(f"{path}: family '{family}' has samples but no # TYPE line")
+        if family not in helped:
+            fail(f"{path}: family '{family}' has samples but no # HELP line")
     for (family, rest), entries in buckets.items():
         # Exposition order is ascending le with +Inf last; cumulative counts
         # must be monotonic and _count must equal the +Inf bucket.
@@ -233,8 +259,9 @@ def check_metrics(path, expectations):
         if samples[name] != float(want):
             fail(f"--expect: {name} is {samples[name]}, wanted {want}")
     n_hist = len({f for (f, _) in buckets})
-    print(f"{path}: {len(samples)} samples, {len(typed)} typed families, "
-          f"{n_hist} histograms, {len(expectations)} expectations met")
+    print(f"{path}: {len(samples)} samples, {len(typed)} typed families "
+          f"({len(helped)} with HELP), {n_hist} histograms, "
+          f"{len(expectations)} expectations met")
     print("trace_summary: OK")
 
 

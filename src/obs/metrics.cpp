@@ -161,27 +161,38 @@ void MetricsRegistry::set_histogram(const std::string& name,
 void MetricsRegistry::import_work(const std::string& prefix,
                                   const WorkCounters& work,
                                   const std::string& labels) {
-  set_counter(prefix + "_edges_visited_total", labels, work.edges_visited);
+  set_counter(prefix + "_edges_visited_total", labels, work.edges_visited,
+              "Edges visited during enumeration (paper's work metric)");
   set_counter(prefix + "_vertices_visited_total", labels,
-              work.vertices_visited);
-  set_counter(prefix + "_cycles_found_total", labels, work.cycles_found);
-  set_counter(prefix + "_tasks_spawned_total", labels, work.tasks_spawned);
-  set_counter(prefix + "_state_copies_total", labels, work.state_copies);
-  set_counter(prefix + "_state_reuses_total", labels, work.state_reuses);
+              work.vertices_visited, "Recursive-call entries");
+  set_counter(prefix + "_cycles_found_total", labels, work.cycles_found,
+              "Cycles found by the enumeration");
+  set_counter(prefix + "_tasks_spawned_total", labels, work.tasks_spawned,
+              "Fine-grained branch tasks spawned");
+  set_counter(prefix + "_state_copies_total", labels, work.state_copies,
+              "Copy-on-steal full state copies");
+  set_counter(prefix + "_state_reuses_total", labels, work.state_reuses,
+              "Same-thread in-place state reuses");
   set_counter(prefix + "_unblock_operations_total", labels,
-              work.unblock_operations);
+              work.unblock_operations, "Johnson-style unblock operations");
   set_counter(prefix + "_late_edges_rejected_total", labels,
-              work.late_edges_rejected);
+              work.late_edges_rejected,
+              "Arrivals dropped behind the reorder watermark");
   set_counter(prefix + "_graph_compactions_total", labels,
-              work.graph_compactions);
+              work.graph_compactions, "Sliding-graph compaction events");
   set_counter(prefix + "_searches_truncated_total", labels,
-              work.searches_truncated);
-  set_counter(prefix + "_edges_shed_total", labels, work.edges_shed);
+              work.searches_truncated,
+              "Searches truncated by the cooperative budget");
+  set_counter(prefix + "_edges_shed_total", labels, work.edges_shed,
+              "Arrivals shed by the overload ladder");
+  set_counter(prefix + "_adaptive_budget_applications_total", labels,
+              work.adaptive_budget_applications,
+              "Degraded searches whose wall budget came from the live p99 "
+              "hint");
 }
 
-void MetricsRegistry::import_scheduler(const Scheduler& sched) {
-  const std::vector<WorkerStats> stats = sched.worker_stats();
-  const std::vector<TaskSlabStats> slabs = sched.slab_stats();
+void MetricsRegistry::import_worker_counters(
+    const std::vector<WorkerStats>& stats) {
   for (std::size_t w = 0; w < stats.size(); ++w) {
     const std::string labels = worker_label(w);
     set_counter("parcycle_worker_tasks_executed_total", labels,
@@ -196,18 +207,53 @@ void MetricsRegistry::import_scheduler(const Scheduler& sched) {
     set_counter("parcycle_worker_busy_ns_total", labels, stats[w].busy_ns,
                 "Busy wall time per worker (see TimingMode)");
   }
+}
+
+void MetricsRegistry::import_build_info() {
+#if defined(PARCYCLE_VERSION)
+  const char* const version = PARCYCLE_VERSION;
+#else
+  const char* const version = "unknown";
+#endif
+#if defined(__VERSION__)
+  const char* const compiler = __VERSION__;
+#else
+  const char* const compiler = "unknown";
+#endif
+  std::string labels = "version=\"";
+  labels += version;
+  labels += "\",compiler=\"";
+  labels += compiler;
+  labels += '"';
+  set_gauge_u64("parcycle_build_info", labels, 1,
+                "Build identity; value is always 1, the labels carry the "
+                "version and compiler");
+}
+
+void MetricsRegistry::set_uptime_seconds(double seconds) {
+  set_gauge("parcycle_uptime_seconds", "", seconds,
+            "Seconds since the reporting process started");
+}
+
+void MetricsRegistry::import_scheduler(const Scheduler& sched) {
+  import_worker_counters(sched.worker_stats());
+  const std::vector<TaskSlabStats> slabs = sched.slab_stats();
   for (std::size_t w = 0; w < slabs.size(); ++w) {
     const std::string labels = worker_label(w);
     set_counter("parcycle_worker_slab_acquires_total", labels,
                 slabs[w].acquires, "Task-slab blocks handed out");
     set_counter("parcycle_worker_slab_local_releases_total", labels,
-                slabs[w].local_releases);
+                slabs[w].local_releases,
+                "Task-slab blocks returned by their owning worker");
     set_counter("parcycle_worker_slab_remote_releases_total", labels,
-                slabs[w].remote_releases);
+                slabs[w].remote_releases,
+                "Task-slab blocks returned by a stealing worker");
     set_counter("parcycle_worker_slab_remote_drains_total", labels,
-                slabs[w].remote_drains);
+                slabs[w].remote_drains,
+                "MPSC return-list drains into the owner freelist");
     set_counter("parcycle_worker_slab_chunks_allocated_total", labels,
-                slabs[w].chunks_allocated);
+                slabs[w].chunks_allocated,
+                "Backing chunks allocated by the task slab");
   }
   // Per-task latency: populated only under TimingMode::kPerTask (the default
   // transition timing deliberately never reads the clock per task).
@@ -230,7 +276,8 @@ void MetricsRegistry::import_stream(const StreamStats& stats) {
   set_gauge_u64("parcycle_stream_reorder_buffered", "",
                 stats.reorder_buffered, "Arrivals currently in reorder stage");
   set_gauge_u64("parcycle_stream_reorder_peak_buffered", "",
-                stats.reorder_peak_buffered);
+                stats.reorder_peak_buffered,
+                "High-water mark of the reorder stage over the run");
   set_counter("parcycle_stream_cycles_found_total", "", stats.cycles_found,
               "Cycles closed, summed across window lanes");
   set_counter("parcycle_stream_batches_total", "", stats.batches,
@@ -271,9 +318,11 @@ void MetricsRegistry::import_stream(const StreamStats& stats) {
     set_counter("parcycle_stream_lane_cycles_found_total", labels,
                 lane.cycles_found, "Cycles closed per window lane");
     set_counter("parcycle_stream_lane_escalated_edges_total", labels,
-                lane.escalated_edges);
+                lane.escalated_edges,
+                "Edges escalated to the fine-grained search per window lane");
     set_counter("parcycle_stream_lane_edges_visited_total", labels,
-                lane.work.edges_visited);
+                lane.work.edges_visited,
+                "Edges visited during enumeration per window lane");
     set_histogram("parcycle_stream_lane_search_latency_ns", labels,
                   lane.latency, "Per-edge search latency per window lane");
   }

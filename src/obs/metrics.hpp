@@ -24,6 +24,7 @@ namespace parcycle {
 class Scheduler;
 struct StreamStats;
 struct WorkCounters;
+struct WorkerStats;
 
 enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
 
@@ -65,6 +66,15 @@ class MetricsRegistry {
   void import_stream(const StreamStats& stats);
   void import_work(const std::string& prefix, const WorkCounters& work,
                    const std::string& labels = "");
+  // Live-safe subset of import_scheduler: per-worker task counters and busy
+  // time only (single-writer atomics, safe to snapshot mid-run). Slab stats
+  // and task histograms stay quiescent-read and are NOT imported here.
+  void import_worker_counters(const std::vector<WorkerStats>& stats);
+  // Identity/liveness gauges: parcycle_build_info{version=..,compiler=..} 1
+  // (the Prometheus build-info idiom) and parcycle_uptime_seconds from the
+  // caller's process start.
+  void import_build_info();
+  void set_uptime_seconds(double seconds);
 
   const std::vector<MetricFamily>& families() const noexcept {
     return families_;

@@ -1,0 +1,266 @@
+#include "obs/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace parcycle {
+
+namespace {
+
+// Closes fd on every exit path of handle_connection.
+struct FdCloser {
+  int fd;
+  ~FdCloser() { ::close(fd); }
+};
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "";
+  }
+}
+
+int parse_http_request(std::string_view head, std::string* method,
+                       std::string* path) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // METHOD SP TARGET SP VERSION — exactly two single spaces.
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return 400;
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return 400;
+  }
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.find(' ') != std::string_view::npos || version.empty()) {
+    return 400;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return version.substr(0, 5) == "HTTP/" ? 505 : 400;
+  }
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') {
+    return 400;
+  }
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) {
+    target = target.substr(0, query);
+  }
+  *method = std::string(line.substr(0, sp1));
+  *path = std::string(target);
+  return 0;
+}
+
+IntrospectionServer::IntrospectionServer(IntrospectionOptions options)
+    : options_(std::move(options)) {}
+
+IntrospectionServer::~IntrospectionServer() { stop(); }
+
+void IntrospectionServer::add_handler(std::string path, Handler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool IntrospectionServer::start(std::string* error) {
+  if (running_) {
+    return true;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "bad bind address '" + options_.bind_address + "'";
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("bind: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("listen: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stop_flag_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  running_ = true;
+  return true;
+}
+
+void IntrospectionServer::stop() {
+  if (!running_) {
+    return;
+  }
+  stop_flag_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void IntrospectionServer::serve_loop() {
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, options_.accept_poll_ms);
+    if (ready <= 0) {
+      continue;  // timeout (re-check stop flag) or EINTR
+    }
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    handle_connection(conn);
+  }
+}
+
+void IntrospectionServer::handle_connection(int fd) {
+  FdCloser closer{fd};
+  // Bound the read: a client that trickles or never finishes its head gets
+  // dropped by the receive timeout instead of wedging the serving thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string head;
+  char buf[1024];
+  bool complete = false;
+  bool oversized = false;
+  while (!complete && !oversized) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      break;  // peer closed or timed out mid-request
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+    complete = head.find("\r\n\r\n") != std::string::npos;
+    oversized = head.size() > options_.max_request_bytes;
+  }
+
+  HttpResponse response;
+  if (oversized) {
+    response.status = 431;
+    response.body = "request too large\n";
+  } else if (!complete) {
+    response.status = 400;
+    response.body = "incomplete request\n";
+  } else {
+    std::string method;
+    std::string path;
+    const int parse_status = parse_http_request(head, &method, &path);
+    if (parse_status != 0) {
+      response.status = parse_status;
+      response.body = std::string(http_status_reason(parse_status)) + "\n";
+    } else if (method != "GET") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      response = dispatch(method, path);
+    }
+  }
+
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  const char* reason = http_status_reason(response.status);
+  if (reason[0] != '\0') {
+    out += ' ';
+    out += reason;
+  }
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  send_all(fd, out.data(), out.size());
+}
+
+HttpResponse IntrospectionServer::dispatch(const std::string& /*method*/,
+                                           const std::string& path) const {
+  for (const auto& [registered, handler] : handlers_) {
+    if (registered == path) {
+      return handler();
+    }
+  }
+  HttpResponse response;
+  response.status = 404;
+  response.body = "unknown endpoint; try /metrics /statusz /healthz /tracez\n";
+  return response;
+}
+
+}  // namespace parcycle

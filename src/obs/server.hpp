@@ -1,0 +1,97 @@
+// Minimal dependency-free HTTP/1.1 introspection server.
+//
+// One dedicated thread, blocking sockets, one request per connection
+// (Connection: close) — deliberately the simplest thing that a curl, a
+// Prometheus scraper, or a load balancer's health check can talk to. The
+// server knows nothing about engines or metrics: endpoints are registered as
+// path → handler closures returning an HttpResponse, so the serving layer
+// composes with whatever the caller wants to expose (obs/timeseries.hpp
+// provides the standard /metrics, /statusz, /healthz bodies).
+//
+// Security posture: binds 127.0.0.1 by default — the introspection surface
+// is for the operator on the box (or a sidecar scraper), not the internet.
+// Port 0 requests an ephemeral port; port() reports the bound one.
+//
+// Shutdown is cooperative: the accept loop polls with a short timeout and
+// re-checks a stop flag, so stop() (or the destructor) joins the serving
+// thread within one poll tick without pthread_cancel or self-pipes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace parcycle {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Parses an HTTP/1.1 request head (everything up to the blank line).
+// Returns 0 and fills *method and *path (query string stripped) when the
+// request line is well-formed; otherwise the HTTP status code to answer
+// with (400 for malformed requests, 505 for non-HTTP/1.x versions).
+// Exposed as a free function so malformed-input handling is unit-testable
+// without sockets.
+int parse_http_request(std::string_view head, std::string* method,
+                       std::string* path);
+
+const char* http_status_reason(int status) noexcept;
+
+struct IntrospectionOptions {
+  std::string bind_address = "127.0.0.1";  // loopback by default
+  std::uint16_t port = 0;                  // 0 = ephemeral
+  // Requests larger than this (head included) are answered 431 and closed.
+  std::size_t max_request_bytes = 4096;
+  // Accept-loop poll tick: the stop() latency upper bound.
+  int accept_poll_ms = 200;
+};
+
+class IntrospectionServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  explicit IntrospectionServer(IntrospectionOptions options = {});
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  // Register an exact-path GET endpoint. Call before start(); handlers run
+  // on the serving thread, so they must be thread-safe against the engine
+  // they observe.
+  void add_handler(std::string path, Handler handler);
+
+  // Binds, listens, and starts the serving thread. Returns false (and fills
+  // *error) on socket failures; the server is then inert and restartable.
+  bool start(std::string* error = nullptr);
+  // Joins the serving thread and closes the listening socket. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  // Bound port (resolves ephemeral requests); 0 before start().
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  HttpResponse dispatch(const std::string& method,
+                        const std::string& path) const;
+
+  IntrospectionOptions options_;
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_flag_{false};
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace parcycle

@@ -1,0 +1,182 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace parcycle {
+
+const char* const kSloMetricNames[] = {
+    "p99_search_ns", "shed_fraction", "edges_per_sec", "cycles_per_sec",
+    "overload_level",
+};
+const std::size_t kSloMetricCount =
+    sizeof(kSloMetricNames) / sizeof(kSloMetricNames[0]);
+
+namespace {
+
+bool known_metric(const std::string& name) {
+  for (std::size_t i = 0; i < kSloMetricCount; ++i) {
+    if (name == kSloMetricNames[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+[[noreturn]] void bad_spec(const std::string& what, const std::string& spec) {
+  throw std::invalid_argument("SLO spec: " + what + " in '" + spec + "'");
+}
+
+}  // namespace
+
+std::string SloObjective::spec() const {
+  std::string out = metric;
+  out += less_than ? '<' : '>';
+  out += format_double(threshold);
+  out += '@';
+  out += format_double(allowed_fraction);
+  return out;
+}
+
+std::vector<SloObjective> SloTracker::parse(const std::string& spec) {
+  std::vector<SloObjective> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t lt = item.find('<');
+    const std::size_t gt = item.find('>');
+    if (lt == std::string::npos && gt == std::string::npos) {
+      bad_spec("missing comparator", item);
+    }
+    const std::size_t cmp = lt != std::string::npos ? lt : gt;
+    SloObjective obj;
+    obj.less_than = lt != std::string::npos;
+    obj.metric = item.substr(0, cmp);
+    if (!known_metric(obj.metric)) {
+      bad_spec("unknown metric '" + obj.metric + "'", item);
+    }
+    std::string rest = item.substr(cmp + 1);
+    const std::size_t at = rest.find('@');
+    std::string threshold_str = rest.substr(0, at);
+    if (threshold_str.empty()) {
+      bad_spec("missing threshold", item);
+    }
+    char* parse_end = nullptr;
+    obj.threshold = std::strtod(threshold_str.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0') {
+      bad_spec("bad threshold '" + threshold_str + "'", item);
+    }
+    if (at != std::string::npos) {
+      const std::string frac_str = rest.substr(at + 1);
+      if (frac_str.empty()) {
+        bad_spec("missing allowed fraction after '@'", item);
+      }
+      obj.allowed_fraction = std::strtod(frac_str.c_str(), &parse_end);
+      if (parse_end == nullptr || *parse_end != '\0') {
+        bad_spec("bad allowed fraction '" + frac_str + "'", item);
+      }
+    }
+    if (!(obj.allowed_fraction > 0.0) || obj.allowed_fraction > 1.0) {
+      bad_spec("allowed fraction must be in (0, 1]", item);
+    }
+    out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives) {
+  objectives_.reserve(objectives.size());
+  for (SloObjective& obj : objectives) {
+    State state;
+    state.objective = std::move(obj);
+    objectives_.push_back(std::move(state));
+  }
+}
+
+void SloTracker::evaluate(const std::map<std::string, double>& tick_values) {
+  for (State& state : objectives_) {
+    state.ticks_total += 1;
+    const auto it = tick_values.find(state.objective.metric);
+    if (it == tick_values.end()) {
+      continue;  // metric silent this tick: counted, never violated
+    }
+    const bool met = state.objective.less_than
+                         ? it->second < state.objective.threshold
+                         : it->second > state.objective.threshold;
+    if (!met) {
+      state.ticks_violated += 1;
+    }
+  }
+}
+
+std::vector<SloTracker::Status> SloTracker::status() const {
+  std::vector<Status> out;
+  out.reserve(objectives_.size());
+  for (const State& state : objectives_) {
+    Status s;
+    s.objective = state.objective;
+    s.ticks_total = state.ticks_total;
+    s.ticks_violated = state.ticks_violated;
+    if (state.ticks_total > 0) {
+      const double violated_fraction =
+          static_cast<double>(state.ticks_violated) /
+          static_cast<double>(state.ticks_total);
+      s.burn_ratio = violated_fraction / state.objective.allowed_fraction;
+    }
+    s.ok = s.burn_ratio <= 1.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void SloTracker::export_to(MetricsRegistry& registry) const {
+  for (const Status& s : status()) {
+    const std::string labels = "objective=\"" + s.objective.spec() + "\"";
+    registry.set_gauge_u64("parcycle_slo_ok", labels, s.ok ? 1 : 0,
+                           "1 while the objective's error budget holds");
+    registry.set_counter("parcycle_slo_ticks_total", labels, s.ticks_total,
+                         "Sampling ticks the objective was evaluated on");
+    registry.set_counter("parcycle_slo_violated_ticks_total", labels,
+                         s.ticks_violated,
+                         "Sampling ticks that violated the objective");
+    registry.set_gauge("parcycle_slo_burn_ratio", labels, s.burn_ratio,
+                       "Error-budget burn: violated fraction over allowed "
+                       "fraction (>1 = failing)");
+  }
+}
+
+std::string SloTracker::render_text() const {
+  std::string out;
+  for (const Status& s : status()) {
+    out += "  ";
+    out += s.objective.spec();
+    out += s.ok ? ": ok" : ": FAILING";
+    out += " burn=";
+    out += format_double(s.burn_ratio);
+    out += " violated=";
+    out += std::to_string(s.ticks_violated);
+    out += '/';
+    out += std::to_string(s.ticks_total);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace parcycle

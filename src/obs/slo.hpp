@@ -1,0 +1,86 @@
+// Declarative service-level objectives over the time-series sampler's ticks.
+//
+// An objective is "metric <comparator> threshold, violated on at most
+// `allowed_fraction` of sampling ticks". The tracker counts ticks and
+// violations per objective; the error-budget burn ratio is
+// (violated/total) / allowed_fraction — 1.0 means the budget is exactly
+// spent, above 1.0 the objective is failing. Tick metrics are per-interval
+// values (rolling p99, per-tick shed fraction), not lifetime totals, so a
+// recovered engine stops burning budget immediately.
+//
+// Spec syntax (parse()): objectives separated by ';', each
+//   <metric> '<'|'>' <threshold> [ '@' <allowed_fraction> ]
+// e.g. "p99_search_ns<2000000@0.1;shed_fraction<0.01". The allowed fraction
+// defaults to 0.01 (99% of ticks must meet the objective). Metric names are
+// validated against the sampler's vocabulary at parse time so a typo fails
+// fast instead of silently never violating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parcycle {
+
+class MetricsRegistry;
+
+struct SloObjective {
+  std::string metric;
+  bool less_than = true;  // false: objective is metric > threshold
+  double threshold = 0.0;
+  double allowed_fraction = 0.01;
+
+  // "p99_search_ns<2e+06@0.1" — the label/statusz identity of the objective.
+  std::string spec() const;
+};
+
+// Tick metric names the sampler publishes (see obs/timeseries.hpp).
+// parse() rejects anything else.
+extern const char* const kSloMetricNames[];
+extern const std::size_t kSloMetricCount;
+
+class SloTracker {
+ public:
+  // Throws std::invalid_argument on syntax errors, unknown metrics, or
+  // allowed fractions outside (0, 1].
+  static std::vector<SloObjective> parse(const std::string& spec);
+
+  SloTracker() = default;
+  explicit SloTracker(std::vector<SloObjective> objectives);
+
+  bool empty() const noexcept { return objectives_.empty(); }
+  std::size_t size() const noexcept { return objectives_.size(); }
+
+  // Evaluate one sampling tick. Objectives whose metric is absent from the
+  // map (e.g. no latency samples yet) count the tick but never violate —
+  // silence is not evidence of failure.
+  void evaluate(const std::map<std::string, double>& tick_values);
+
+  struct Status {
+    SloObjective objective;
+    std::uint64_t ticks_total = 0;
+    std::uint64_t ticks_violated = 0;
+    double burn_ratio = 0.0;  // (violated/total)/allowed; 0 before any tick
+    bool ok = true;           // burn_ratio <= 1.0
+  };
+  std::vector<Status> status() const;
+
+  // Exports parcycle_slo_ok / parcycle_slo_ticks_total /
+  // parcycle_slo_violated_ticks_total / parcycle_slo_burn_ratio, one sample
+  // per objective with an objective="<spec>" label.
+  void export_to(MetricsRegistry& registry) const;
+
+  // Human-readable block for /statusz.
+  std::string render_text() const;
+
+ private:
+  struct State {
+    SloObjective objective;
+    std::uint64_t ticks_total = 0;
+    std::uint64_t ticks_violated = 0;
+  };
+  std::vector<State> objectives_;
+};
+
+}  // namespace parcycle

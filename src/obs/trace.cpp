@@ -39,8 +39,11 @@ const char* trace_name_str(TraceName name) noexcept {
 }
 
 TraceRecorder::TraceRecorder(unsigned num_workers,
-                             std::size_t capacity_per_worker, bool enabled)
-    : enabled_(enabled), capacity_(std::max<std::size_t>(1, capacity_per_worker)) {
+                             std::size_t capacity_per_worker, bool enabled,
+                             bool concurrent_reads)
+    : enabled_(enabled),
+      concurrent_reads_(concurrent_reads),
+      capacity_(std::max<std::size_t>(1, capacity_per_worker)) {
   rings_.reserve(num_workers == 0 ? 1 : num_workers);
   for (unsigned i = 0; i < std::max(1u, num_workers); ++i) {
     rings_.push_back(std::make_unique<Ring>());
@@ -49,16 +52,25 @@ TraceRecorder::TraceRecorder(unsigned num_workers,
 }
 
 std::uint64_t TraceRecorder::recorded(unsigned worker) const noexcept {
-  return rings_[worker]->count;
+  const Ring& ring = *rings_[worker];
+  if (concurrent_reads_) {
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    return ring.count;
+  }
+  return ring.count;
 }
 
 std::uint64_t TraceRecorder::dropped(unsigned worker) const noexcept {
-  const std::uint64_t count = rings_[worker]->count;
+  const std::uint64_t count = recorded(worker);
   return count > capacity_ ? count - capacity_ : 0;
 }
 
 std::vector<TraceEvent> TraceRecorder::events(unsigned worker) const {
   const Ring& ring = *rings_[worker];
+  std::unique_lock<std::mutex> lock(ring.mutex, std::defer_lock);
+  if (concurrent_reads_) {
+    lock.lock();
+  }
   std::vector<TraceEvent> out;
   if (ring.count <= capacity_) {
     out.assign(ring.buf.begin(),
@@ -77,6 +89,10 @@ std::vector<TraceEvent> TraceRecorder::events(unsigned worker) const {
 
 void TraceRecorder::clear() noexcept {
   for (auto& ring : rings_) {
+    std::unique_lock<std::mutex> lock(ring->mutex, std::defer_lock);
+    if (concurrent_reads_) {
+      lock.lock();
+    }
     ring->count = 0;
   }
 }

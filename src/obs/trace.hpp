@@ -16,7 +16,12 @@
 // time, not start time; the exporter re-sorts per track by start.
 //
 // Readers (export, tests) must run while the traced pool is quiescent, the
-// same contract as Scheduler::worker_stats().
+// same contract as Scheduler::worker_stats() — UNLESS the recorder was
+// constructed with concurrent_reads = true, in which case each ring carries
+// a mutex taken by both the record path and the read path, making reads
+// (e.g. a live /tracez endpoint) race-free at the cost of one uncontended
+// lock per record call. The flag is fixed at construction so the default
+// recorder's hot path keeps its zero-synchronisation property.
 //
 // A disabled recorder (or a null recorder pointer at the instrumentation
 // site — the usual production state) reduces every record call to one
@@ -26,6 +31,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace parcycle {
@@ -80,7 +86,7 @@ class TraceRecorder {
 
   explicit TraceRecorder(unsigned num_workers,
                          std::size_t capacity_per_worker = kDefaultCapacity,
-                         bool enabled = true);
+                         bool enabled = true, bool concurrent_reads = false);
 
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
@@ -93,6 +99,7 @@ class TraceRecorder {
     return static_cast<unsigned>(rings_.size());
   }
   std::size_t capacity() const noexcept { return capacity_; }
+  bool concurrent_reads() const noexcept { return concurrent_reads_; }
 
   // -- Record path (owner worker only) --------------------------------------
 
@@ -121,7 +128,7 @@ class TraceRecorder {
     push(worker, TraceEvent{ts_ns, 0, value, name, TraceEventType::kCounter});
   }
 
-  // -- Read path (pool quiescent) -------------------------------------------
+  // -- Read path (pool quiescent, or concurrent_reads recorder) -------------
 
   // Total record calls on this worker's ring (retained + overwritten).
   std::uint64_t recorded(unsigned worker) const noexcept;
@@ -136,15 +143,25 @@ class TraceRecorder {
   struct alignas(64) Ring {
     std::vector<TraceEvent> buf;  // size == capacity_, never resized
     std::uint64_t count = 0;      // monotone; write slot = count % capacity
+    // Taken by push() and the read path only when concurrent_reads_ is set;
+    // per-ring so two workers recording never contend with each other.
+    mutable std::mutex mutex;
   };
 
   void push(unsigned worker, const TraceEvent& event) noexcept {
     Ring& ring = *rings_[worker];
+    if (concurrent_reads_) {
+      std::lock_guard<std::mutex> lock(ring.mutex);
+      ring.buf[static_cast<std::size_t>(ring.count % capacity_)] = event;
+      ring.count += 1;
+      return;
+    }
     ring.buf[static_cast<std::size_t>(ring.count % capacity_)] = event;
     ring.count += 1;
   }
 
   bool enabled_;
+  const bool concurrent_reads_;
   std::size_t capacity_;
   std::vector<std::unique_ptr<Ring>> rings_;
 };

@@ -145,6 +145,56 @@ bool write_chrome_trace_file(const TraceRecorder& recorder,
   return true;
 }
 
+std::string render_tracez_text(const TraceRecorder& recorder,
+                               std::size_t last_n) {
+  std::string out;
+  out += "tracez: newest ";
+  append_u64(out, last_n);
+  out += " events per worker (";
+  out += recorder.enabled() ? "recorder enabled" : "recorder disabled";
+  out += ")\n";
+  for (unsigned w = 0; w < recorder.num_workers(); ++w) {
+    const std::vector<TraceEvent> events = recorder.events(w);
+    out += "worker ";
+    append_u64(out, w);
+    out += ": retained=";
+    append_u64(out, events.size());
+    out += " recorded=";
+    append_u64(out, recorder.recorded(w));
+    out += " dropped=";
+    append_u64(out, recorder.dropped(w));
+    out += '\n';
+    const std::size_t first =
+        events.size() > last_n ? events.size() - last_n : 0;
+    for (std::size_t i = first; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      out += "  ";
+      switch (e.type) {
+        case TraceEventType::kSpan:
+          out += "span    ";
+          break;
+        case TraceEventType::kInstant:
+          out += "instant ";
+          break;
+        case TraceEventType::kCounter:
+          out += "counter ";
+          break;
+      }
+      out += trace_name_str(e.name);
+      out += " ts_us=";
+      append_us(out, e.ts_ns);
+      if (e.type == TraceEventType::kSpan) {
+        out += " dur_us=";
+        append_us(out, e.dur_ns);
+      }
+      out += e.type == TraceEventType::kCounter ? " value=" : " arg=";
+      append_u64(out, e.arg);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 ScopedTraceExport::~ScopedTraceExport() {
   if (path_.empty()) {
     return;

@@ -28,6 +28,12 @@ bool write_chrome_trace_file(const TraceRecorder& recorder,
                              std::string* error = nullptr,
                              const std::string& process_name = "parcycle");
 
+// Human-readable dump of the newest last_n retained events per worker, for
+// the /tracez endpoint. Reading a live recorder is only race-free when it
+// was constructed with concurrent_reads = true (obs/trace.hpp).
+std::string render_tracez_text(const TraceRecorder& recorder,
+                               std::size_t last_n = 32);
+
 // Exports on scope exit. Declare BEFORE the Scheduler being traced: C++
 // destruction order then tears the pool down first, so every worker's ring
 // write happens-before the export (thread join gives the ordering) and the

@@ -106,11 +106,19 @@ StreamEngine::StreamEngine(const StreamOptions& options, Scheduler& sched,
   pending_.reserve(options_.batch_size);
 }
 
+std::unique_lock<std::mutex> StreamEngine::observer_lock() const {
+  std::unique_lock<std::mutex> lock(stats_mutex_, std::defer_lock);
+  if (concurrent_stats_) {
+    lock.lock();
+  }
+  return lock;
+}
+
 void StreamEngine::set_overload_level(OverloadLevel level) {
-  if (level == overload_level_) {
+  if (level == overload_level_.load(std::memory_order_relaxed)) {
     return;
   }
-  overload_level_ = level;
+  overload_level_.store(level, std::memory_order_relaxed);
   overload_shifts_ += 1;
   if (TraceRecorder* const tr = sched_.tracer()) {
     const auto worker =
@@ -133,15 +141,18 @@ void StreamEngine::overload_step_up() {
   calm_batches_ = 0;
   const auto steps = static_cast<int>(std::min<std::size_t>(
       occupancy / high, static_cast<std::size_t>(kOverloadLevels - 1)));
-  const int target = std::min(kOverloadLevels - 1,
-                              static_cast<int>(overload_level_) + steps);
+  const int target = std::min(
+      kOverloadLevels - 1,
+      static_cast<int>(overload_level_.load(std::memory_order_relaxed)) +
+          steps);
   set_overload_level(static_cast<OverloadLevel>(target));
 }
 
 // Called at the END of a batch: hysteretic single-step recovery after
 // overload_recover_batches consecutive calm batches.
 void StreamEngine::overload_step_down() {
-  if (overload_level_ == OverloadLevel::kNormal) {
+  const OverloadLevel level = overload_level_.load(std::memory_order_relaxed);
+  if (level == OverloadLevel::kNormal) {
     return;
   }
   const std::size_t occupancy = pending_.size() + reorder_heap_.size();
@@ -153,7 +164,7 @@ void StreamEngine::overload_step_down() {
   if (calm_batches_ >= options_.overload_recover_batches) {
     calm_batches_ = 0;
     set_overload_level(
-        static_cast<OverloadLevel>(static_cast<int>(overload_level_) - 1));
+        static_cast<OverloadLevel>(static_cast<int>(level) - 1));
   }
 }
 
@@ -178,8 +189,10 @@ void StreamEngine::release_ready() {
 }
 
 void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
+  const std::unique_lock<std::mutex> lock = observer_lock();
   edges_pushed_ += 1;
-  if (overload_level_ == OverloadLevel::kShed) {
+  if (overload_level_.load(std::memory_order_relaxed) ==
+      OverloadLevel::kShed) {
     // Last rung of the ladder: drop the arrival before it can grow any
     // buffer. edges_pushed_ still advanced — shedding must not desync the
     // stream cursor a restore resumes from.
@@ -215,6 +228,7 @@ void StreamEngine::push(VertexId src, VertexId dst, Timestamp ts) {
 }
 
 void StreamEngine::flush() {
+  const std::unique_lock<std::mutex> lock = observer_lock();
   if (!reorder_heap_.empty()) {
     std::sort(reorder_heap_.begin(), reorder_heap_.end(), edge_rank_less);
     for (const TemporalEdge& edge : reorder_heap_) {
@@ -354,12 +368,27 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
   auto scratch = scratch_pool_.acquire();
   // Ladder effects, fixed for the whole batch (the level only changes at
   // batch boundaries on worker 0, ordered before the task spawns).
-  const OverloadLevel level = overload_level_;
+  const OverloadLevel level = overload_level_.load(std::memory_order_relaxed);
   const bool force_prune = level >= OverloadLevel::kForcePrune;
   const bool force_serial = level >= OverloadLevel::kForceSerial;
-  const SearchBudget& budget_cfg = level >= OverloadLevel::kTightenBudgets
-                                       ? options_.degraded_budget
-                                       : options_.search_budget;
+  const bool degraded = level >= OverloadLevel::kTightenBudgets;
+  SearchBudget budget_cfg =
+      degraded ? options_.degraded_budget : options_.search_budget;
+  bool adaptive_applied = false;
+  if (degraded) {
+    // Adaptive degraded-budget seed: the sampler's k×rolling-p99 hint widens
+    // the wall budget when live search latencies need more headroom than the
+    // static configuration; the static value stays the floor, so the hint
+    // can only relax the degradation, never sharpen it below what the
+    // operator configured. Without a sampler the hint is 0 and this branch
+    // never fires.
+    const std::uint64_t hint =
+        degraded_wall_hint_ns_.load(std::memory_order_relaxed);
+    if (hint > budget_cfg.wall_ns && budget_cfg.wall_ns != 0) {
+      budget_cfg.wall_ns = hint;
+      adaptive_applied = true;
+    }
+  }
   std::uint64_t t_lane = trace_now_ns();
   const std::uint64_t edge_start = t_lane;  // for the whole-edge span
   for (std::size_t lane = 0; lane < deltas_.size(); ++lane) {
@@ -401,6 +430,9 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
     if (budget_cfg.enabled()) {
       budget_state.emplace(budget_cfg);
       budget = &*budget_state;
+      if (adaptive_applied) {
+        counters.work.adaptive_budget_applications += 1;
+      }
     }
     std::uint64_t found = 0;
     const std::uint64_t truncated_before = counters.work.searches_truncated;
@@ -430,18 +462,21 @@ void StreamEngine::search_edge(const TemporalEdge& edge) {
 }
 
 StreamStats StreamEngine::stats() const {
+  const std::unique_lock<std::mutex> lock = observer_lock();
   StreamStats stats;
   stats.edges_ingested = graph_.total_ingested();
   stats.edges_pushed = edges_pushed_;
   stats.late_edges_rejected = late_rejected_;
   stats.reorder_buffered = reorder_heap_.size();
   stats.reorder_peak_buffered = reorder_peak_buffered_;
+  stats.reorder_max_seen = reorder_max_seen_;
+  stats.reorder_floor = reorder_floor_;
   stats.batches = batches_;
   stats.expired_edges = graph_.total_expired();
   stats.live_edges = graph_.live_edges();
   stats.busy_seconds = busy_seconds_;
 
-  stats.overload_level = overload_level_;
+  stats.overload_level = overload_level_.load(std::memory_order_relaxed);
   stats.overload_shifts = overload_shifts_;
   stats.edges_shed = edges_shed_;
   stats.search_errors = search_errors_;

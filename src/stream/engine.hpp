@@ -59,9 +59,11 @@
 // engine as operated, not the pure search cost.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -202,6 +204,12 @@ struct StreamStats {
   // disorder is close to the configured bound.
   std::uint64_t reorder_buffered = 0;
   std::uint64_t reorder_peak_buffered = 0;
+  // Reorder watermark: the maximum timestamp ever accepted and the late
+  // floor (arrivals below it are rejected). Their difference is the
+  // watermark lag /statusz reports; both are Timestamp::min() before the
+  // first accepted arrival of a reorder-enabled engine.
+  Timestamp reorder_max_seen = 0;
+  Timestamp reorder_floor = 0;
   std::uint64_t cycles_found = 0;
   std::uint64_t batches = 0;
   std::uint64_t escalated_edges = 0;
@@ -285,11 +293,37 @@ class StreamEngine {
   // Total push() calls so far (the stream cursor; see StreamStats).
   std::uint64_t edges_pushed() const noexcept { return edges_pushed_; }
 
-  // Current overload-ladder level (changes only at batch boundaries).
-  OverloadLevel overload_level() const noexcept { return overload_level_; }
+  // Current overload-ladder level (changes only at batch boundaries). Safe
+  // to read from any thread (e.g. a /healthz handler): the level is a
+  // relaxed atomic, so the read is always race-free and lag-free.
+  OverloadLevel overload_level() const noexcept {
+    return overload_level_.load(std::memory_order_relaxed);
+  }
 
-  // Merged statistics snapshot. Call between push()/flush() calls.
+  // Merged statistics snapshot. Call between push()/flush() calls — or, once
+  // enable_concurrent_stats() armed the engine, from any thread at any time.
   StreamStats stats() const;
+
+  // Arms the engine for concurrent observation: push()/flush()/stats() and
+  // the snapshot calls then serialise on an internal mutex, so a sampler
+  // thread (obs/timeseries.hpp) may call stats() while the owning thread is
+  // feeding. Call BEFORE the first push and before starting the sampler; the
+  // flag is one-way. Unarmed engines pay a single predictable branch per
+  // public call and no lock.
+  void enable_concurrent_stats() { concurrent_stats_ = true; }
+
+  // Live wall-ns hint for the degraded search budget, set by the adaptive
+  // sampler from the rolling p99 search latency (k×p99). While the overload
+  // ladder sits at kTightenBudgets or above, the effective degraded wall
+  // budget is max(options.degraded_budget.wall_ns, hint) — the static value
+  // stays a floor. 0 (the default) disables the hint entirely. Safe to call
+  // from any thread.
+  void set_degraded_wall_hint_ns(std::uint64_t hint_ns) noexcept {
+    degraded_wall_hint_ns_.store(hint_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t degraded_wall_hint_ns() const noexcept {
+    return degraded_wall_hint_ns_.load(std::memory_order_relaxed);
+  }
 
   // -- Snapshot / restore ---------------------------------------------------
   //
@@ -327,6 +361,10 @@ class StreamEngine {
     std::vector<LaneCounters> lanes;
   };
 
+  // Locked only when enable_concurrent_stats() armed the engine; returned
+  // unlocked (and free of atomic ops) otherwise.
+  std::unique_lock<std::mutex> observer_lock() const;
+
   void enqueue(const TemporalEdge& edge);
   void release_ready();
   void process_batch();
@@ -362,12 +400,21 @@ class StreamEngine {
   std::uint64_t batches_ = 0;
   double busy_seconds_ = 0.0;
   // Overload ladder state: written on worker 0 between batches, read by
-  // search tasks (ordered by the task spawn, like graph_).
-  OverloadLevel overload_level_ = OverloadLevel::kNormal;
+  // search tasks (ordered by the task spawn, like graph_) and — hence the
+  // relaxed atomic — by /healthz handlers on other threads.
+  std::atomic<OverloadLevel> overload_level_{OverloadLevel::kNormal};
   std::uint64_t overload_shifts_ = 0;
   std::uint64_t calm_batches_ = 0;  // consecutive batches at/below low
   std::uint64_t edges_shed_ = 0;
   std::uint64_t search_errors_ = 0;
+  // Adaptive degraded-budget hint (see set_degraded_wall_hint_ns).
+  std::atomic<std::uint64_t> degraded_wall_hint_ns_{0};
+  // Concurrent-observation gate (see enable_concurrent_stats): when set, the
+  // public entry points take stats_mutex_; worker-side counter writes are
+  // already ordered before the owning thread releases it (TaskGroup::wait),
+  // so a sampler holding the mutex reads a consistent quiescent snapshot.
+  bool concurrent_stats_ = false;
+  mutable std::mutex stats_mutex_;
 };
 
 }  // namespace parcycle

@@ -55,7 +55,9 @@ constexpr char kMagic[4] = {'P', 'S', 'E', '1'};
 // new WorkCounters fields (searches_truncated, edges_shed). Older snapshots
 // are rejected: carrying their counters forward with silently-zeroed
 // robustness state would make the resumed totals lie.
-constexpr std::uint32_t kVersion = 3;
+// v4: WorkCounters::adaptive_budget_applications (live-p99 degraded-budget
+// seeding; obs/timeseries.hpp).
+constexpr std::uint32_t kVersion = 4;
 // Upper bound on a plausible payload: rejects absurd sizes from a corrupt
 // header before we try to allocate them.
 constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 33;
@@ -151,6 +153,7 @@ void write_work_counters(BufWriter& w, const WorkCounters& c) {
   w.scalar(c.graph_compactions);
   w.scalar(c.searches_truncated);
   w.scalar(c.edges_shed);
+  w.scalar(c.adaptive_budget_applications);
 }
 
 WorkCounters read_work_counters(BufReader& r) {
@@ -166,12 +169,14 @@ WorkCounters read_work_counters(BufReader& r) {
   c.graph_compactions = r.scalar<std::uint64_t>("work counters");
   c.searches_truncated = r.scalar<std::uint64_t>("work counters");
   c.edges_shed = r.scalar<std::uint64_t>("work counters");
+  c.adaptive_budget_applications = r.scalar<std::uint64_t>("work counters");
   return c;
 }
 
 }  // namespace
 
 void StreamEngine::save_snapshot(std::ostream& out) const {
+  const std::unique_lock<std::mutex> lock = observer_lock();
   BufWriter w;
 
   // [lanes]
@@ -195,7 +200,8 @@ void StreamEngine::save_snapshot(std::ostream& out) const {
   // calm-batch streak, so hysteresis does not reset across a restart), and
   // guarded-sink counters survive even though the guards themselves are
   // rebuilt. Lanes without a guard serialise zeros.
-  w.scalar<std::uint32_t>(static_cast<std::uint32_t>(overload_level_));
+  w.scalar<std::uint32_t>(static_cast<std::uint32_t>(
+      overload_level_.load(std::memory_order_relaxed)));
   w.scalar(overload_shifts_);
   w.scalar(calm_batches_);
   w.scalar(edges_shed_);
@@ -299,6 +305,7 @@ void StreamEngine::save_snapshot(std::ostream& out) const {
 }
 
 void StreamEngine::restore_snapshot(std::istream& in) {
+  const std::unique_lock<std::mutex> lock = observer_lock();
   if (edges_pushed_ != 0 || graph_.total_ingested() != 0 ||
       !pending_.empty() || !reorder_heap_.empty()) {
     throw std::runtime_error(

@@ -17,6 +17,15 @@ namespace {
 thread_local Scheduler* tl_scheduler = nullptr;
 thread_local int tl_worker_id = -1;
 
+// Owner-only counter bump: the slot's counters are written by exactly one
+// worker, so a relaxed load+store (no read-modify-write, no lock prefix)
+// keeps the hot path identical to the plain-field code while letting a live
+// sampler read the counter concurrently without a data race.
+inline void bump(std::atomic<std::uint64_t>& counter) noexcept {
+  counter.store(counter.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -148,10 +157,10 @@ void Scheduler::end_wait(unsigned worker_id) {
 
 void Scheduler::execute(detail::TaskBase* task, unsigned worker_id) {
   WorkerSlot& slot = *slots_[worker_id];
-  slot.stats.tasks_executed += 1;
+  bump(slot.tasks_executed);
   const std::uint32_t creator = task->creator_worker;
   if (creator != worker_id) {
-    slot.stats.tasks_stolen += 1;
+    bump(slot.tasks_stolen);
   }
   TaskGroup* group = task->group;
   const bool from_slab = task->from_slab;
@@ -229,7 +238,7 @@ void Scheduler::push_task(detail::TaskBase* task) {
   assert(tl_scheduler == this && worker >= 0 &&
          "tasks must be spawned from a worker thread of this scheduler");
   slots_[static_cast<unsigned>(worker)]->deque.push(task);
-  slots_[static_cast<unsigned>(worker)]->stats.tasks_spawned += 1;
+  bump(slots_[static_cast<unsigned>(worker)]->tasks_spawned);
   wake_workers();
 }
 
@@ -250,7 +259,7 @@ void Scheduler::note_heap_task() {
   const int worker = tl_worker_id;
   assert(tl_scheduler == this && worker >= 0 &&
          "tasks must be spawned from a worker thread of this scheduler");
-  slots_[static_cast<unsigned>(worker)]->stats.tasks_heap_allocated += 1;
+  bump(slots_[static_cast<unsigned>(worker)]->tasks_heap_allocated);
 }
 
 void Scheduler::release_task_block(void* block, std::uint32_t creator_worker,
@@ -282,7 +291,13 @@ std::vector<WorkerStats> Scheduler::worker_stats() const {
   std::vector<WorkerStats> out;
   out.reserve(num_workers_);
   for (const auto& slot : slots_) {
-    out.push_back(slot->stats);
+    WorkerStats stats;
+    stats.tasks_executed = slot->tasks_executed.load(std::memory_order_relaxed);
+    stats.tasks_spawned = slot->tasks_spawned.load(std::memory_order_relaxed);
+    stats.tasks_stolen = slot->tasks_stolen.load(std::memory_order_relaxed);
+    stats.tasks_heap_allocated =
+        slot->tasks_heap_allocated.load(std::memory_order_relaxed);
+    out.push_back(stats);
     std::uint64_t busy = slot->busy_ns.load(std::memory_order_relaxed);
     // Fold in a still-open interval: a worker that stayed saturated for the
     // whole run may not have transitioned to idle yet when the caller
@@ -303,7 +318,10 @@ std::vector<WorkerStats> Scheduler::worker_stats() const {
 void Scheduler::reset_stats() {
   const std::uint64_t now = now_ns();
   for (auto& slot : slots_) {
-    slot->stats = WorkerStats{};
+    slot->tasks_executed.store(0, std::memory_order_relaxed);
+    slot->tasks_spawned.store(0, std::memory_order_relaxed);
+    slot->tasks_stolen.store(0, std::memory_order_relaxed);
+    slot->tasks_heap_allocated.store(0, std::memory_order_relaxed);
     slot->busy_ns.store(0, std::memory_order_relaxed);
     slot->task_hist.clear();
     // A worker saturated through the end of the previous run may still have

@@ -167,6 +167,10 @@ class Scheduler {
     return tracer_.load(std::memory_order_acquire);
   }
 
+  // Safe to call while workers are running: the task counters and busy time
+  // are single-writer relaxed atomics, so a concurrent snapshot is internally
+  // consistent per counter (point-in-time approximate across counters, exact
+  // when quiescent). reset_stats() still requires quiescence.
   std::vector<WorkerStats> worker_stats() const;
   void reset_stats();
 
@@ -189,11 +193,18 @@ class Scheduler {
   struct alignas(64) WorkerSlot {
     ChaseLevDeque<detail::TaskBase*> deque;
     TaskSlab slab;
-    WorkerStats stats;
-    // Accumulated busy time lives outside `stats`: transition timing folds a
-    // busy interval in when the worker goes idle, which can race a stats
-    // reader that returned from wait() a moment earlier — so this one field
-    // is a (relaxed) atomic, merged into WorkerStats by worker_stats().
+    // Task counters are single-writer (the owning worker) relaxed atomics so
+    // a live sampler (obs/timeseries.hpp) can snapshot them mid-run without
+    // a data race. The owner increments with store(load+1, relaxed) — plain
+    // register arithmetic, no lock prefix — so the hot path cost is
+    // unchanged versus the previous plain fields.
+    std::atomic<std::uint64_t> tasks_executed{0};
+    std::atomic<std::uint64_t> tasks_spawned{0};
+    std::atomic<std::uint64_t> tasks_stolen{0};
+    std::atomic<std::uint64_t> tasks_heap_allocated{0};
+    // Accumulated busy time: transition timing folds a busy interval in when
+    // the worker goes idle, which can race a stats reader that returned from
+    // wait() a moment earlier — merged into WorkerStats by worker_stats().
     std::atomic<std::uint64_t> busy_ns{0};
     std::uint64_t steal_seed = 0;
     // TimingMode::kTransitions bookkeeping: the open busy interval. Written

@@ -54,6 +54,9 @@ struct WorkCounters {
   // bounds) and arrivals the overload ladder shed before ingest.
   std::uint64_t searches_truncated = 0;
   std::uint64_t edges_shed = 0;
+  // Degraded searches whose wall budget came from the live p99 hint (the
+  // time-series sampler's k×p99) instead of the static degraded_budget floor.
+  std::uint64_t adaptive_budget_applications = 0;
 
   WorkCounters& operator+=(const WorkCounters& other) {
     edges_visited += other.edges_visited;
@@ -67,6 +70,7 @@ struct WorkCounters {
     graph_compactions += other.graph_compactions;
     searches_truncated += other.searches_truncated;
     edges_shed += other.edges_shed;
+    adaptive_budget_applications += other.adaptive_budget_applications;
     return *this;
   }
 };

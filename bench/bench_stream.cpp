@@ -34,6 +34,7 @@
 #include "bench_support/json.hpp"
 #include "bench_support/table.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "stream/engine.hpp"
@@ -52,6 +53,7 @@ constexpr const char* kUsage =
     "  [--window-scale X] [--window-scales X1,X2,...] [--slack S] "
     "[--shuffle] [--no-prune]\n"
     "  [--dataset-dir <dir>] [--json <path>] [--trace-out <file>]\n"
+    "  [--profile-out <file>] [--profile-hz N]\n"
     "Replays each dataset's edges as a temporal stream through the "
     "StreamEngine and reports ingest\nthroughput, cycles and per-edge latency "
     "percentiles per thread count, against the batch temporal\nenumerator on "
@@ -67,7 +69,13 @@ constexpr const char* kUsage =
     "--trace-out writes a Chrome trace_event JSON per replay (overwritten "
     "each time, so the file left\nbehind covers the last dataset x thread "
     "combination); tracing switches that replay to per-task\ntiming, so quote "
-    "throughput numbers only from untraced runs.\n";
+    "throughput numbers only from untraced runs.\n"
+    "--profile-out samples worker stacks during each replay (per-thread "
+    "SIGPROF CPU-time timers,\n--profile-hz per thread, default 97) and "
+    "writes flamegraph.pl collapsed-stack text, overwritten\nper replay like "
+    "--trace-out. Without the flag the profiler is never constructed: the "
+    "replay adds\nzero signals, clock reads or allocations, and the --json "
+    "baseline is bit-identical.\n";
 
 std::vector<unsigned> parse_threads(const std::string& arg) {
   std::vector<unsigned> threads;
@@ -152,6 +160,8 @@ int main(int argc, char** argv) {
   bool use_prune = true;
   std::size_t prune_frontier = StreamOptions{}.prune_frontier_threshold;
   std::string trace_path;
+  std::string profile_path;
+  long profile_hz = 0;  // 0 = library default
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -176,6 +186,10 @@ int main(int argc, char** argv) {
       prune_frontier = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (arg == "--profile-hz" && i + 1 < argc) {
+      profile_hz = std::atol(argv[++i]);
     } else if ((arg == "--json" || arg == "--dataset-dir") && i + 1 < argc) {
       ++i;  // parsed by json_output_path / dataset_dir_from_cli
     } else if (arg == "all") {
@@ -351,6 +365,26 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) {
         sched_options.timing = TimingMode::kPerTask;
       }
+      // Per-replay stack profile. Disabled (no --profile-out) the profiler
+      // allocates nothing and the scheduler sees no observer — the replay's
+      // hot path and the --json baseline are untouched. Started before the
+      // pool exists: each worker arms its own timer as it attaches.
+      ProfilerOptions prof_options;
+      if (profile_hz > 0) {
+        prof_options.sample_hz = static_cast<int>(profile_hz);
+      }
+      StackProfiler profiler(std::max(1u, threads), prof_options,
+                             /*enabled=*/!profile_path.empty());
+      WorkerObserverChain observers;
+      observers.add(&profiler);
+      if (!profile_path.empty()) {
+        sched_options.thread_observer = &observers;
+        std::string profile_error;
+        if (!profiler.start(&profile_error)) {
+          std::cerr << "profiler: " << profile_error << "\n";
+          return 1;
+        }
+      }
       Scheduler::with_pool(threads, sched_options, [&](Scheduler& sched) {
         if (!trace_path.empty()) {
           sched.set_tracer(&recorder);
@@ -393,6 +427,19 @@ int main(int argc, char** argv) {
         if (!write_chrome_trace_file(recorder, trace_path, &error,
                                      "bench_stream")) {
           std::cerr << "trace export failed: " << error << "\n";
+        }
+      }
+      if (!profile_path.empty()) {
+        // Same join-ordering as the trace: workers disarmed their timers on
+        // detach inside with_pool, so the counters are final here.
+        profiler.stop();
+        std::string error;
+        if (!profiler.write_collapsed_file(profile_path, &error)) {
+          std::cerr << "profile export failed: " << error << "\n";
+        } else {
+          std::cerr << "profile: taken=" << profiler.total_taken()
+                    << " dropped=" << profiler.total_dropped() << " -> "
+                    << profile_path << "\n";
         }
       }
       if (stats.late_edges_rejected != 0) {

@@ -59,6 +59,8 @@
 #include "core/fine_hc_dfs.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/server.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -133,6 +135,8 @@ int main(int argc, char** argv) {
                      "  [--inject <spec>] [--overload-high N] "
                      "[--serve[=port]] [--slo <spec>]\n"
                      "  [--serve-linger-ms M] [--adaptive-budget K]\n"
+                     "  [--profile-out <file>] [--profile-hz N] "
+                     "[--profile-clock cpu|wall]\n"
                      "Finds temporal cycles plus hop-constrained (<= max_hops "
                      "edges, order-agnostic) rings in a synthetic payment "
                      "network (defaults: 2000 accounts, 20000 transfers, 4 "
@@ -174,7 +178,19 @@ int main(int argc, char** argv) {
                      "empty flushes) that long after the feed completes. "
                      "--adaptive-budget K re-seeds\nthe degraded search "
                      "budget from K x rolling-p99 while overloaded (static "
-                     "value\nstays the floor; 0 = off)."
+                     "value\nstays the floor; 0 = off).\n--profile-out "
+                     "samples worker stacks for the whole run (SIGPROF, "
+                     "per-thread\nCPU-time timers by default) and writes "
+                     "flamegraph.pl collapsed-stack text on\nexit; "
+                     "--profile-hz sets the per-thread rate (default 97). "
+                     "--profile-clock wall\nsamples in wall time instead, so "
+                     "parked workers show their wait stacks.\nEither "
+                     "--profile-out or --serve also opens per-worker "
+                     "hardware counter groups\n(cycles, instructions, cache, "
+                     "branches; parcycle_perf_* in /metrics, IPC lines\non "
+                     "/statusz) and arms GET /profilez?seconds=N on-demand "
+                     "capture; serve-only\nruns default to the wall clock "
+                     "so an idle service still yields samples."
                      "\n\nexit codes:\n"
                      "  0  success (monitor total matches the batch scan, or "
                      "conservation holds\n     under injection)\n"
@@ -202,6 +218,9 @@ int main(int argc, char** argv) {
   long serve_linger_ms = 0;
   double adaptive_budget_k = 0.0;
   std::string slo_spec;
+  std::string profile_path;
+  long profile_hz = 0;          // 0 = library default
+  std::string profile_clock;    // "", "cpu", or "wall"
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--monitor") == 0) {
@@ -234,6 +253,12 @@ int main(int argc, char** argv) {
       slo_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--adaptive-budget") == 0 && i + 1 < argc) {
       adaptive_budget_k = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile-clock") == 0 && i + 1 < argc) {
+      profile_clock = argv[++i];
     } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
       inject_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--overload-high") == 0 && i + 1 < argc) {
@@ -268,6 +293,17 @@ int main(int argc, char** argv) {
   }
   if (serve_port < 0 || serve_port > 65535) {
     std::cerr << "invalid --serve port: " << serve_port << "\n";
+    return 2;
+  }
+  if (!profile_clock.empty() && profile_clock != "cpu" &&
+      profile_clock != "wall") {
+    std::cerr << "invalid --profile-clock '" << profile_clock
+              << "' (use cpu or wall)\n";
+    return 2;
+  }
+  if (profile_hz < 0 || profile_hz > 10000) {
+    std::cerr << "invalid --profile-hz: " << profile_hz
+              << " (use 1..10000, 0 = default)\n";
     return 2;
   }
   const VertexId accounts = static_cast<VertexId>(accounts_arg);
@@ -312,9 +348,41 @@ int main(int argc, char** argv) {
                          /*enabled=*/!trace_path.empty() || serve,
                          /*concurrent_reads=*/serve);
   ScopedTraceExport trace_export(recorder, trace_path, "fraud_detection");
+  // Profiling surface: a whole-run stack capture (--profile-out) or the
+  // serve mode's on-demand /profilez, plus per-worker hardware counter
+  // groups either way. Declared before the Scheduler so the observers
+  // outlive the pool (workers detach in its destructor) and the scoped
+  // export runs once the counters are final. Serve-only runs default to
+  // wall-clock sampling — an idle service still yields samples, showing
+  // where the workers wait; an explicit --profile-clock always wins.
+  const bool profiling = !profile_path.empty() || serve;
+  ProfilerOptions prof_options;
+  if (profile_hz > 0) {
+    prof_options.sample_hz = static_cast<int>(profile_hz);
+  }
+  if (profile_clock == "wall" ||
+      (profile_clock.empty() && profile_path.empty())) {
+    prof_options.clock = ProfileClock::kWall;
+  }
+  StackProfiler profiler(4, prof_options, /*enabled=*/profiling);
+  PerfCounterGroups perf(4, /*enabled=*/profiling);
+  WorkerObserverChain observers;
+  observers.add(&profiler);
+  observers.add(&perf);
+  if (profiling) {
+    sched_options.thread_observer = &observers;
+  }
+  ScopedProfileExport profile_export(profiler, profile_path);
   Scheduler sched(4, sched_options);
   if (recorder.enabled()) {
     sched.set_tracer(&recorder);
+  }
+  if (!profile_path.empty()) {
+    std::string profile_error;
+    if (!profiler.start(&profile_error)) {
+      std::cerr << "profiler: " << profile_error << "\n";
+      return 1;
+    }
   }
   const EnumResult result =
       fine_temporal_johnson_cycles(payments, window, sched, options, {}, &sink);
@@ -395,6 +463,9 @@ int main(int argc, char** argv) {
     metrics.clear();
     metrics.import_stream(engine.stats());
     metrics.import_scheduler(sched);
+    metrics.import_process();
+    metrics.import_perf(perf);
+    metrics.import_profiler(profiler);
     std::string error;
     if (!metrics.write_text_file(metrics_path, &error)) {
       std::cerr << "metrics dump failed: " << error << "\n";
@@ -412,6 +483,8 @@ int main(int argc, char** argv) {
     TimeSeriesOptions ts_options;
     ts_options.slo_spec = slo_spec;
     ts_options.adaptive_budget_multiplier = adaptive_budget_k;
+    ts_options.perf = &perf;
+    ts_options.profiler = &profiler;
     try {
       sampler = std::make_unique<TimeSeriesSampler>(engine, sched, ts_options);
     } catch (const std::invalid_argument& error) {
@@ -442,6 +515,23 @@ int main(int argc, char** argv) {
     server->add_handler("/tracez", [&recorder] {
       HttpResponse r;
       r.body = render_tracez_text(recorder);
+      return r;
+    });
+    server->add_query_handler("/profilez", [&profiler](
+                                               const std::string& query) {
+      HttpResponse r;
+      if (!profiler.enabled() || !StackProfiler::supported()) {
+        r.status = 503;
+        r.body = "profiler unavailable (disabled, non-Linux, or "
+                 "ThreadSanitizer build)\n";
+        return r;
+      }
+      double seconds = 1.0;
+      const std::string value = query_param(query, "seconds");
+      if (!value.empty()) {
+        seconds = std::atof(value.c_str());
+      }
+      r.body = profiler.timed_capture(seconds);
       return r;
     });
     std::string serve_error;

@@ -46,6 +46,8 @@
 #include "core/tiernan.hpp"
 #include "io/edge_list.hpp"
 #include "io/graph_cache.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/server.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -94,6 +96,8 @@ int usage() {
                "  [--stream] [--stream-batch N] [--stream-windows W1,W2,...] "
                "[--stream-slack S]\n"
                "  [--serve[=port]] [--slo <spec>]\n"
+               "  [--profile-out <file>] [--profile-hz N] "
+               "[--profile-clock cpu|wall]\n"
                "  [--snapshot-path <path>] [--snapshot-every N] "
                "[--restore <path>] [--trace-out <file>]\n"
                "  [--dataset-file <path>] [--dataset <NAME>] "
@@ -126,7 +130,16 @@ int usage() {
                "(Prometheus), /statusz, /healthz, /tracez. Port 0 (default) "
                "picks an\nephemeral port, printed on startup. --slo adds "
                "objectives evaluated each sampler tick, e.g.\n"
-               "--slo \"p99_search_ns<2000000;shed_fraction<0.05@0.1\".\n";
+               "--slo \"p99_search_ns<2000000;shed_fraction<0.05@0.1\".\n"
+               "--profile-out samples worker stacks for the whole run "
+               "(per-thread SIGPROF timers,\nCPU clock by default; "
+               "--profile-clock wall shows wait stacks too) and writes\n"
+               "flamegraph.pl collapsed-stack text on exit; --profile-hz "
+               "sets the per-thread rate\n(default 97). --profile-out or "
+               "--serve also opens per-worker hardware counter\ngroups "
+               "(parcycle_perf_* in /metrics) and, with --serve, arms GET "
+               "/profilez?seconds=N;\nserve-only runs default to the wall "
+               "clock so an idle replay still yields samples.\n";
   return 2;
 }
 
@@ -163,6 +176,9 @@ int main(int argc, char** argv) {
   bool serve = false;
   long serve_port = 0;
   std::string slo_spec;
+  std::string profile_path;
+  long profile_hz = 0;        // 0 = library default
+  std::string profile_clock;  // "", "cpu", or "wall"
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -237,6 +253,12 @@ int main(int argc, char** argv) {
       serve_port = std::atol(arg.c_str() + 8);
     } else if (arg == "--slo") {
       slo_spec = next() ? argv[i] : "";
+    } else if (arg == "--profile-out") {
+      profile_path = next() ? argv[i] : "";
+    } else if (arg == "--profile-hz") {
+      profile_hz = next() ? std::atol(argv[i]) : 0;
+    } else if (arg == "--profile-clock") {
+      profile_clock = next() ? argv[i] : "";
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return usage();
@@ -245,6 +267,16 @@ int main(int argc, char** argv) {
 
   if (path.empty() == dataset.empty()) {
     std::cerr << "error: pass exactly one of <edge-list> or --dataset\n";
+    return usage();
+  }
+  if (!profile_clock.empty() && profile_clock != "cpu" &&
+      profile_clock != "wall") {
+    std::cerr << "error: invalid --profile-clock '" << profile_clock
+              << "' (use cpu or wall)\n";
+    return usage();
+  }
+  if (profile_hz < 0 || profile_hz > 10000) {
+    std::cerr << "error: invalid --profile-hz (use 1..10000, 0 = default)\n";
     return usage();
   }
 
@@ -262,9 +294,40 @@ int main(int argc, char** argv) {
                          /*enabled=*/!trace_path.empty() || serve,
                          /*concurrent_reads=*/serve);
   ScopedTraceExport trace_export(recorder, trace_path, "parcycle_cli");
+  // Profiling surface (see fraud_detection for the full story): whole-run
+  // stack capture with --profile-out, on-demand /profilez with --serve,
+  // hardware counter groups either way. Observers precede the Scheduler so
+  // they outlive the pool; serve-only runs sample in wall time so an idle
+  // replay still yields samples, and an explicit --profile-clock wins.
+  const bool profiling = !profile_path.empty() || serve;
+  ProfilerOptions prof_options;
+  if (profile_hz > 0) {
+    prof_options.sample_hz = static_cast<int>(profile_hz);
+  }
+  if (profile_clock == "wall" ||
+      (profile_clock.empty() && profile_path.empty())) {
+    prof_options.clock = ProfileClock::kWall;
+  }
+  StackProfiler profiler(std::max(1u, threads), prof_options,
+                         /*enabled=*/profiling);
+  PerfCounterGroups perf(std::max(1u, threads), /*enabled=*/profiling);
+  WorkerObserverChain observers;
+  observers.add(&profiler);
+  observers.add(&perf);
+  if (profiling) {
+    sched_options.thread_observer = &observers;
+  }
+  ScopedProfileExport profile_export(profiler, profile_path);
   Scheduler sched(threads, sched_options);
   if (recorder.enabled()) {
     sched.set_tracer(&recorder);
+  }
+  if (!profile_path.empty()) {
+    std::string profile_error;
+    if (!profiler.start(&profile_error)) {
+      std::cerr << "error: profiler: " << profile_error << "\n";
+      return 1;
+    }
   }
   Scheduler* load_sched = serial_load ? nullptr : &sched;
 
@@ -367,6 +430,8 @@ int main(int argc, char** argv) {
     if (serve) {
       TimeSeriesOptions ts_options;
       ts_options.slo_spec = slo_spec;
+      ts_options.perf = &perf;
+      ts_options.profiler = &profiler;
       try {
         sampler =
             std::make_unique<TimeSeriesSampler>(engine, sched, ts_options);
@@ -398,6 +463,23 @@ int main(int argc, char** argv) {
       server->add_handler("/tracez", [&recorder] {
         HttpResponse r;
         r.body = render_tracez_text(recorder);
+        return r;
+      });
+      server->add_query_handler("/profilez", [&profiler](
+                                                 const std::string& query) {
+        HttpResponse r;
+        if (!profiler.enabled() || !StackProfiler::supported()) {
+          r.status = 503;
+          r.body = "profiler unavailable (disabled, non-Linux, or "
+                   "ThreadSanitizer build)\n";
+          return r;
+        }
+        double seconds = 1.0;
+        const std::string value = query_param(query, "seconds");
+        if (!value.empty()) {
+          seconds = std::atof(value.c_str());
+        }
+        r.body = profiler.timed_capture(seconds);
         return r;
       });
       std::string serve_error;

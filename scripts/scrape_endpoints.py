@@ -5,8 +5,9 @@ Usage:
     scrape_endpoints.py --port P [--host H] [--expect name=value ...]
                         [--save-metrics FILE] [--watch-seconds S]
                         [--require-health-flip] [--timeout T]
+                        [--profilez-seconds S] [--require-profilez-samples]
 
-Polls the four endpoints a --serve run exposes and validates each:
+Polls the five endpoints a --serve run exposes and validates each:
 
 * /metrics  — parsed with trace_summary's Prometheus checker (every family
   needs # TYPE and # HELP, histogram buckets monotonic, _count == +Inf);
@@ -15,6 +16,12 @@ Polls the four endpoints a --serve run exposes and validates each:
 * /healthz  — must answer 200 (body starts "ok") or 503 (body starts
   "shedding"); any other status fails.
 * /tracez   — must be 200 with the "tracez:" banner.
+* /profilez — a live --profilez-seconds capture (default 1s). A 200 body
+  must parse as collapsed-stack text whose sample counts sum to the
+  header's taken counter (profile_summary's validator); 503 means the
+  profiler is unavailable there (TSan build, non-Linux) and is tolerated
+  unless --require-profilez-samples, which also fails a 200 capture with
+  zero samples.
 
 --watch-seconds keeps re-polling /healthz (and /metrics, to confirm the
 registry keeps updating) for that long. With --require-health-flip the run
@@ -37,6 +44,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from trace_summary import check_metrics  # noqa: E402
+from profile_summary import parse_collapsed, validate  # noqa: E402
 
 
 def fail(msg):
@@ -85,6 +93,12 @@ def main():
                              "during the watch")
     parser.add_argument("--timeout", type=float, default=5.0,
                         help="per-request timeout in seconds (default 5)")
+    parser.add_argument("--profilez-seconds", type=float, default=1.0,
+                        help="capture window for the /profilez check "
+                             "(default 1)")
+    parser.add_argument("--require-profilez-samples", action="store_true",
+                        help="fail when /profilez is 503 or captures zero "
+                             "samples")
     parser.add_argument("--tmp-dir", default="/tmp",
                         help="where the scraped metrics temp file lands")
     args = parser.parse_args()
@@ -120,7 +134,30 @@ def main():
     if "tracez:" not in tracez:
         fail(f"/tracez body lacks the banner: {tracez[:120]!r}")
 
-    print(f"scrape_endpoints: all four endpoints up on {base} "
+    # /profilez blocks for the capture window, so give it headroom beyond
+    # the ordinary per-request timeout.
+    profilez_url = f"{base}/profilez?seconds={args.profilez_seconds:g}"
+    status, profilez = fetch(profilez_url,
+                             args.timeout + args.profilez_seconds + 5.0)
+    if status == 503:
+        if args.require_profilez_samples:
+            fail(f"/profilez answered 503 but samples were required: "
+                 f"{profilez[:120]!r}")
+        print(f"scrape_endpoints: /profilez unavailable (503), tolerated: "
+              f"{profilez.strip()[:80]}")
+    elif status == 200:
+        try:
+            header, stacks = parse_collapsed(profilez, source="/profilez")
+            total = validate(header, stacks, source="/profilez",
+                             require_samples=args.require_profilez_samples)
+        except ValueError as err:
+            fail(str(err))
+        print(f"scrape_endpoints: /profilez captured {total} samples over "
+              f"{len(stacks)} stacks ({header['clock']} clock)")
+    else:
+        fail(f"/profilez answered {status}")
+
+    print(f"scrape_endpoints: all five endpoints up on {base} "
           f"(healthz={sorted(seen_health)})")
 
     deadline = time.monotonic() + args.watch_seconds

@@ -1,11 +1,21 @@
 #include "obs/metrics.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
+#include <string>
 
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "stream/engine.hpp"
 #include "support/scheduler.hpp"
 #include "support/stats.hpp"
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 namespace parcycle {
 
@@ -148,6 +158,15 @@ void MetricsRegistry::set_gauge_u64(const std::string& name,
   MetricSample& s = upsert(name, MetricType::kGauge, labels, help);
   s.integral = true;
   s.ivalue = value;
+}
+
+void MetricsRegistry::set_counter_double(const std::string& name,
+                                         const std::string& labels,
+                                         double value,
+                                         const std::string& help) {
+  MetricSample& s = upsert(name, MetricType::kCounter, labels, help);
+  s.integral = false;
+  s.dvalue = value;
 }
 
 void MetricsRegistry::set_histogram(const std::string& name,
@@ -326,6 +345,123 @@ void MetricsRegistry::import_stream(const StreamStats& stats) {
     set_histogram("parcycle_stream_lane_search_latency_ns", labels,
                   lane.latency, "Per-edge search latency per window lane");
   }
+}
+
+void MetricsRegistry::import_perf(const PerfCounterGroups& perf) {
+  const bool available = perf.enabled() && perf.available();
+  set_gauge_u64("parcycle_perf_available", "", available ? 1 : 0,
+                "1 when per-worker perf_event counter groups are open; 0 "
+                "when disabled or the kernel forbids them "
+                "(perf_event_paranoid, containers)");
+  if (!available) {
+    return;
+  }
+  for (unsigned w = 0; w < perf.num_workers(); ++w) {
+    const PerfCounts c = perf.counts(w);
+    if (!c.available) {
+      continue;
+    }
+    const std::string labels = worker_label(w);
+    set_counter("parcycle_perf_cycles_total", labels, c.cycles,
+                "CPU cycles per worker thread (user mode)");
+    set_counter("parcycle_perf_instructions_total", labels, c.instructions,
+                "Instructions retired per worker thread (user mode)");
+    set_counter("parcycle_perf_cache_references_total", labels,
+                c.cache_references, "LLC references per worker thread");
+    set_counter("parcycle_perf_cache_misses_total", labels, c.cache_misses,
+                "LLC misses per worker thread");
+    set_counter("parcycle_perf_branch_misses_total", labels, c.branch_misses,
+                "Mispredicted branches per worker thread");
+    set_gauge("parcycle_perf_ipc", labels, c.ipc(),
+              "Instructions per cycle, derived from the group read");
+    set_gauge("parcycle_perf_cache_miss_rate", labels, c.cache_miss_rate(),
+              "cache_misses / cache_references, derived from the group read");
+  }
+}
+
+void MetricsRegistry::import_profiler(const StackProfiler& profiler) {
+  if (!profiler.enabled()) {
+    return;
+  }
+  for (unsigned w = 0; w < profiler.num_workers(); ++w) {
+    const std::string labels = worker_label(w);
+    set_counter("parcycle_profile_samples_taken_total", labels,
+                profiler.samples_taken(w),
+                "Stack samples stored by the sampling profiler, per worker");
+    set_counter("parcycle_profile_samples_dropped_total", labels,
+                profiler.samples_dropped(w),
+                "Stack samples discarded because the worker ring saturated");
+  }
+}
+
+void MetricsRegistry::import_process() {
+#if defined(__linux__)
+  const auto page_size = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  {
+    // /proc/self/statm: size resident shared text lib data dt (pages).
+    std::ifstream statm("/proc/self/statm");
+    std::uint64_t vsize_pages = 0;
+    std::uint64_t rss_pages = 0;
+    if (statm >> vsize_pages >> rss_pages) {
+      set_gauge_u64("parcycle_process_virtual_memory_bytes", "",
+                    vsize_pages * page_size, "Process virtual memory size");
+      set_gauge_u64("parcycle_process_resident_memory_bytes", "",
+                    rss_pages * page_size, "Process resident set size");
+    }
+  }
+  {
+    // /proc/self/stat: comm may contain spaces, so parse after the last ')'.
+    std::ifstream stat_file("/proc/self/stat");
+    std::string line;
+    if (std::getline(stat_file, line)) {
+      const std::size_t close = line.rfind(')');
+      if (close != std::string::npos) {
+        std::istringstream rest(line.substr(close + 1));
+        std::string field;
+        // Fields after comm: state(1) then utime at index 12, stime 13,
+        // num_threads 18 (1-based field numbers 3.. in proc(5): utime=14,
+        // stime=15, num_threads=20).
+        std::uint64_t utime = 0;
+        std::uint64_t stime = 0;
+        std::uint64_t num_threads = 0;
+        for (int i = 1; rest >> field && i <= 18; ++i) {
+          if (i == 12) {
+            utime = std::strtoull(field.c_str(), nullptr, 10);
+          } else if (i == 13) {
+            stime = std::strtoull(field.c_str(), nullptr, 10);
+          } else if (i == 18) {
+            num_threads = std::strtoull(field.c_str(), nullptr, 10);
+          }
+        }
+        const double ticks_per_sec =
+            static_cast<double>(sysconf(_SC_CLK_TCK));
+        if (ticks_per_sec > 0) {
+          set_counter_double("parcycle_process_cpu_seconds_total", "",
+                             static_cast<double>(utime + stime) /
+                                 ticks_per_sec,
+                             "Total user+system CPU time of the process");
+        }
+        set_gauge_u64("parcycle_process_threads", "", num_threads,
+                      "Threads in the process");
+      }
+    }
+  }
+  {
+    std::uint64_t open_fds = 0;
+    if (DIR* dir = opendir("/proc/self/fd")) {
+      while (const dirent* entry = readdir(dir)) {
+        if (entry->d_name[0] != '.') {
+          open_fds += 1;
+        }
+      }
+      closedir(dir);
+      // The traversal itself holds one fd on the directory.
+      set_gauge_u64("parcycle_process_open_fds", "",
+                    open_fds > 0 ? open_fds - 1 : 0,
+                    "Open file descriptors of the process");
+    }
+  }
+#endif
 }
 
 std::optional<std::uint64_t> MetricsRegistry::value_u64(

@@ -21,7 +21,9 @@
 
 namespace parcycle {
 
+class PerfCounterGroups;
 class Scheduler;
+class StackProfiler;
 struct StreamStats;
 struct WorkCounters;
 struct WorkerStats;
@@ -57,6 +59,10 @@ class MetricsRegistry {
   // floating-point round trip.
   void set_gauge_u64(const std::string& name, const std::string& labels,
                      std::uint64_t value, const std::string& help = "");
+  // Counter with a non-integral value (CPU seconds): Prometheus counters
+  // are semantically monotone but not integer-typed.
+  void set_counter_double(const std::string& name, const std::string& labels,
+                          double value, const std::string& help = "");
   void set_histogram(const std::string& name, const std::string& labels,
                      const Log2Histogram& hist, const std::string& help = "");
 
@@ -75,6 +81,18 @@ class MetricsRegistry {
   // caller's process start.
   void import_build_info();
   void set_uptime_seconds(double seconds);
+  // Hardware counter groups (obs/perf_counters.hpp): per-worker
+  // parcycle_perf_* counters plus derived IPC / cache-miss-rate gauges.
+  // Always sets parcycle_perf_available (0 when the kernel forbids the
+  // counters or the groups are disabled) so scrapes can tell "no hardware
+  // counters here" from "family missing".
+  void import_perf(const PerfCounterGroups& perf);
+  // Sampling profiler accounting (obs/profiler.hpp): per-worker
+  // taken/dropped sample counters. No-op for a disabled profiler.
+  void import_profiler(const StackProfiler& profiler);
+  // Process health from /proc/self (Linux; no-op elsewhere): RSS, virtual
+  // size, CPU seconds, open fds, thread count.
+  void import_process();
 
   const std::vector<MetricFamily>& families() const noexcept {
     return families_;

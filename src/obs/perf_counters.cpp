@@ -1,0 +1,281 @@
+#include "obs/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#define PARCYCLE_PERF_PLATFORM 1
+#else
+#define PARCYCLE_PERF_PLATFORM 0
+#endif
+
+#if PARCYCLE_PERF_PLATFORM
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace parcycle {
+
+namespace {
+
+// Group member order; index 0 is the leader.
+enum PerfCounterIndex {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kNumPerfCounters,
+};
+
+#if PARCYCLE_PERF_PLATFORM
+
+constexpr std::uint64_t kCounterConfig[kNumPerfCounters] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int perf_event_open_thread(std::uint64_t config, bool leader, int group_fd) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  // The group starts disabled and is enabled once fully assembled, so all
+  // members cover the same interval.
+  attr.disabled = leader ? 1 : 0;
+  attr.exclude_kernel = 1;  // user-only keeps paranoid<=2 sufficient
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid 0 + cpu -1: this thread, on whatever CPU it runs on.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+std::string open_failure_reason(int err) {
+  std::string reason = "perf_event_open: ";
+  reason += std::strerror(err);
+  if (err == EACCES || err == EPERM) {
+    reason +=
+        " (kernel.perf_event_paranoid too high or missing CAP_PERFMON; "
+        "common in containers)";
+  } else if (err == ENOSYS) {
+    reason += " (syscall filtered, e.g. by seccomp)";
+  } else if (err == ENOENT) {
+    reason += " (hardware events not supported here, e.g. some VMs)";
+  }
+  return reason;
+}
+
+#endif  // PARCYCLE_PERF_PLATFORM
+
+}  // namespace
+
+struct PerfCounterGroups::Slot {
+  int fds[kNumPerfCounters] = {-1, -1, -1, -1, -1};
+  std::uint64_t ids[kNumPerfCounters] = {0, 0, 0, 0, 0};
+  bool open = false;
+  PerfCounts final_counts;  // snapshot taken at detach
+
+#if PARCYCLE_PERF_PLATFORM
+  PerfCounts read_group() const {
+    PerfCounts out;
+    if (fds[kCycles] < 0) {
+      return out;
+    }
+    struct {
+      std::uint64_t nr;
+      std::uint64_t time_enabled;
+      std::uint64_t time_running;
+      struct {
+        std::uint64_t value;
+        std::uint64_t id;
+      } values[kNumPerfCounters];
+    } buf{};
+    const ssize_t n = ::read(fds[kCycles], &buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+      return out;
+    }
+    out.available = true;
+    out.time_enabled_ns = buf.time_enabled;
+    out.time_running_ns = buf.time_running;
+    for (std::uint64_t i = 0;
+         i < buf.nr && i < static_cast<std::uint64_t>(kNumPerfCounters);
+         ++i) {
+      for (int c = 0; c < kNumPerfCounters; ++c) {
+        if (fds[c] >= 0 && ids[c] == buf.values[i].id) {
+          const std::uint64_t value = buf.values[i].value;
+          switch (c) {
+            case kCycles:
+              out.cycles = value;
+              break;
+            case kInstructions:
+              out.instructions = value;
+              break;
+            case kCacheReferences:
+              out.cache_references = value;
+              break;
+            case kCacheMisses:
+              out.cache_misses = value;
+              break;
+            case kBranchMisses:
+              out.branch_misses = value;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  void close_all() {
+    // Leader last so members never outlive their group.
+    for (int c = kNumPerfCounters - 1; c >= 0; --c) {
+      if (fds[c] >= 0) {
+        ::close(fds[c]);
+        fds[c] = -1;
+      }
+    }
+    open = false;
+  }
+#endif  // PARCYCLE_PERF_PLATFORM
+};
+
+bool PerfCounterGroups::kernel_supported(std::string* reason) {
+#if PARCYCLE_PERF_PLATFORM
+  const int fd = perf_event_open_thread(PERF_COUNT_HW_CPU_CYCLES,
+                                        /*leader=*/true, -1);
+  if (fd >= 0) {
+    ::close(fd);
+    return true;
+  }
+  if (reason != nullptr) {
+    *reason = open_failure_reason(errno);
+  }
+  return false;
+#else
+  if (reason != nullptr) {
+    *reason = "perf_event_open is Linux-only";
+  }
+  return false;
+#endif
+}
+
+PerfCounterGroups::PerfCounterGroups(unsigned num_workers, bool enabled)
+    : num_workers_(num_workers == 0 ? 1 : num_workers), enabled_(enabled) {
+  if (!enabled_) {
+    return;
+  }
+  slots_.reserve(num_workers_);
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+PerfCounterGroups::~PerfCounterGroups() {
+#if PARCYCLE_PERF_PLATFORM
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : slots_) {
+    if (slot->open) {
+      slot->close_all();
+    }
+  }
+#endif
+}
+
+bool PerfCounterGroups::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_;
+}
+
+std::string PerfCounterGroups::unavailable_reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reason_;
+}
+
+void PerfCounterGroups::on_worker_start(unsigned worker) noexcept {
+  if (!enabled_ || worker >= slots_.size()) {
+    return;
+  }
+#if PARCYCLE_PERF_PLATFORM
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = *slots_[worker];
+  const int leader =
+      perf_event_open_thread(kCounterConfig[kCycles], /*leader=*/true, -1);
+  if (leader < 0) {
+    if (reason_.empty()) {
+      reason_ = open_failure_reason(errno);
+    }
+    return;
+  }
+  slot.fds[kCycles] = leader;
+#ifdef PERF_EVENT_IOC_ID
+  ::ioctl(leader, PERF_EVENT_IOC_ID, &slot.ids[kCycles]);
+#endif
+  for (int c = kCycles + 1; c < kNumPerfCounters; ++c) {
+    const int fd =
+        perf_event_open_thread(kCounterConfig[c], /*leader=*/false, leader);
+    if (fd < 0) {
+      continue;  // PMU lacks this event (VMs often drop the cache pair)
+    }
+    slot.fds[c] = fd;
+#ifdef PERF_EVENT_IOC_ID
+    ::ioctl(fd, PERF_EVENT_IOC_ID, &slot.ids[c]);
+#endif
+  }
+  ::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  slot.open = true;
+  available_ = true;
+#else
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (reason_.empty()) {
+    reason_ = "perf_event_open is Linux-only";
+  }
+#endif
+}
+
+void PerfCounterGroups::on_worker_stop(unsigned worker) noexcept {
+  if (!enabled_ || worker >= slots_.size()) {
+    return;
+  }
+#if PARCYCLE_PERF_PLATFORM
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = *slots_[worker];
+  if (!slot.open) {
+    return;
+  }
+  slot.final_counts = slot.read_group();
+  slot.close_all();
+#endif
+}
+
+PerfCounts PerfCounterGroups::counts(unsigned worker) const {
+  if (!enabled_ || worker >= slots_.size()) {
+    return PerfCounts{};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+#if PARCYCLE_PERF_PLATFORM
+  const Slot& slot = *slots_[worker];
+  return slot.open ? slot.read_group() : slot.final_counts;
+#else
+  return slots_[worker]->final_counts;
+#endif
+}
+
+std::vector<PerfCounts> PerfCounterGroups::all_counts() const {
+  std::vector<PerfCounts> out;
+  out.reserve(num_workers_);
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    out.push_back(counts(w));
+  }
+  return out;
+}
+
+}  // namespace parcycle

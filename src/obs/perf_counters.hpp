@@ -1,0 +1,96 @@
+// Per-worker hardware counter groups via perf_event_open.
+//
+// Each worker thread opens one counter group on itself at pool start
+// (through the Scheduler's WorkerThreadObserver hook): cycles as group
+// leader, then instructions, cache-references, cache-misses and
+// branch-misses in the same group, so all five are scheduled onto the PMU
+// together and a single group read returns a consistent snapshot. Reads are
+// plain read(2) syscalls on the group fd and are safe from any thread — the
+// live sampler (obs/timeseries.hpp) reads mid-run; at pool stop the worker
+// snapshots its final values so post-run exports still see totals.
+//
+// Hardware counters are a privilege-gated resource: kernel.perf_event_paranoid
+// > 2, seccomp filters, and most container runtimes reject the syscall.
+// That is an environment fact, not an error — the group degrades to
+// available() == false with a human-readable reason, MetricsRegistry
+// renders an explicit `parcycle_perf_available 0` gauge, and everything
+// else proceeds. Individual counters a PMU lacks (common for the cache
+// pair in VMs) drop out of the group without taking the rest down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/scheduler.hpp"
+
+namespace parcycle {
+
+struct PerfCounts {
+  bool available = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  // PMU scheduling times from the group read; running < enabled means the
+  // kernel multiplexed the group and values are undercounts.
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  double ipc() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double cache_miss_rate() const noexcept {
+    return cache_references == 0 ? 0.0
+                                 : static_cast<double>(cache_misses) /
+                                       static_cast<double>(cache_references);
+  }
+};
+
+class PerfCounterGroups final : public WorkerThreadObserver {
+ public:
+  // Probes the syscall with a throwaway cycles counter on the calling
+  // thread. False (with *reason filled) when the kernel or sandbox forbids
+  // it — the usual state under perf_event_paranoid > 2 or in containers.
+  static bool kernel_supported(std::string* reason = nullptr);
+
+  // `enabled` = false is inert (no syscalls anywhere), mirroring the
+  // disabled-profiler contract.
+  explicit PerfCounterGroups(unsigned num_workers, bool enabled = true);
+  ~PerfCounterGroups() override;
+
+  PerfCounterGroups(const PerfCounterGroups&) = delete;
+  PerfCounterGroups& operator=(const PerfCounterGroups&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+  unsigned num_workers() const noexcept { return num_workers_; }
+  // True once at least one worker opened its group.
+  bool available() const;
+  // Why no group opened (empty while available or before any attach).
+  std::string unavailable_reason() const;
+
+  // Scheduler hooks; open/close must run on the measured thread.
+  void on_worker_start(unsigned worker) noexcept override;
+  void on_worker_stop(unsigned worker) noexcept override;
+
+  // Live group read while the worker runs, final snapshot after it stopped.
+  PerfCounts counts(unsigned worker) const;
+  std::vector<PerfCounts> all_counts() const;
+
+ private:
+  struct Slot;
+
+  unsigned num_workers_;
+  bool enabled_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace parcycle

@@ -58,7 +58,7 @@ const char* http_status_reason(int status) noexcept {
 }
 
 int parse_http_request(std::string_view head, std::string* method,
-                       std::string* path) {
+                       std::string* path, std::string* query) {
   const std::size_t line_end = head.find("\r\n");
   const std::string_view line =
       line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -82,13 +82,35 @@ int parse_http_request(std::string_view head, std::string* method,
   if (target.empty() || target[0] != '/') {
     return 400;
   }
-  const std::size_t query = target.find('?');
-  if (query != std::string_view::npos) {
-    target = target.substr(0, query);
+  const std::size_t query_start = target.find('?');
+  if (query_start != std::string_view::npos) {
+    if (query != nullptr) {
+      *query = std::string(target.substr(query_start + 1));
+    }
+    target = target.substr(0, query_start);
+  } else if (query != nullptr) {
+    query->clear();
   }
   *method = std::string(line.substr(0, sp1));
   *path = std::string(target);
   return 0;
+}
+
+std::string query_param(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) {
+      break;
+    }
+    query = query.substr(amp + 1);
+  }
+  return std::string();
 }
 
 IntrospectionServer::IntrospectionServer(IntrospectionOptions options)
@@ -97,7 +119,12 @@ IntrospectionServer::IntrospectionServer(IntrospectionOptions options)
 IntrospectionServer::~IntrospectionServer() { stop(); }
 
 void IntrospectionServer::add_handler(std::string path, Handler handler) {
-  handlers_.emplace_back(std::move(path), std::move(handler));
+  handlers_.push_back(Endpoint{std::move(path), std::move(handler), nullptr});
+}
+
+void IntrospectionServer::add_query_handler(std::string path,
+                                            QueryHandler handler) {
+  handlers_.push_back(Endpoint{std::move(path), nullptr, std::move(handler)});
 }
 
 bool IntrospectionServer::start(std::string* error) {
@@ -220,7 +247,8 @@ void IntrospectionServer::handle_connection(int fd) {
   } else {
     std::string method;
     std::string path;
-    const int parse_status = parse_http_request(head, &method, &path);
+    std::string query;
+    const int parse_status = parse_http_request(head, &method, &path, &query);
     if (parse_status != 0) {
       response.status = parse_status;
       response.body = std::string(http_status_reason(parse_status)) + "\n";
@@ -228,7 +256,7 @@ void IntrospectionServer::handle_connection(int fd) {
       response.status = 405;
       response.body = "only GET is served here\n";
     } else {
-      response = dispatch(method, path);
+      response = dispatch(method, path, query);
     }
   }
 
@@ -251,15 +279,17 @@ void IntrospectionServer::handle_connection(int fd) {
 }
 
 HttpResponse IntrospectionServer::dispatch(const std::string& /*method*/,
-                                           const std::string& path) const {
-  for (const auto& [registered, handler] : handlers_) {
-    if (registered == path) {
-      return handler();
+                                           const std::string& path,
+                                           const std::string& query) const {
+  for (const Endpoint& endpoint : handlers_) {
+    if (endpoint.path == path) {
+      return endpoint.plain ? endpoint.plain() : endpoint.query(query);
     }
   }
   HttpResponse response;
   response.status = 404;
-  response.body = "unknown endpoint; try /metrics /statusz /healthz /tracez\n";
+  response.body =
+      "unknown endpoint; try /metrics /statusz /healthz /tracez /profilez\n";
   return response;
 }
 

@@ -38,10 +38,16 @@ struct HttpResponse {
 // Returns 0 and fills *method and *path (query string stripped) when the
 // request line is well-formed; otherwise the HTTP status code to answer
 // with (400 for malformed requests, 505 for non-HTTP/1.x versions).
-// Exposed as a free function so malformed-input handling is unit-testable
-// without sockets.
+// The query string (text after '?', without the '?') lands in *query when
+// the caller passes one — /profilez?seconds=N needs it; the other
+// endpoints ignore queries. Exposed as a free function so malformed-input
+// handling is unit-testable without sockets.
 int parse_http_request(std::string_view head, std::string* method,
-                       std::string* path);
+                       std::string* path, std::string* query = nullptr);
+
+// Value of `key` in a `k=v&k2=v2` query string, or empty when absent.
+// No %-decoding: the introspection endpoints take plain numeric values.
+std::string query_param(std::string_view query, std::string_view key);
 
 const char* http_status_reason(int status) noexcept;
 
@@ -57,6 +63,8 @@ struct IntrospectionOptions {
 class IntrospectionServer {
  public:
   using Handler = std::function<HttpResponse()>;
+  // Handler that receives the request's query string (e.g. "seconds=5").
+  using QueryHandler = std::function<HttpResponse(const std::string& query)>;
 
   explicit IntrospectionServer(IntrospectionOptions options = {});
   ~IntrospectionServer();
@@ -68,6 +76,8 @@ class IntrospectionServer {
   // on the serving thread, so they must be thread-safe against the engine
   // they observe.
   void add_handler(std::string path, Handler handler);
+  // Same, for endpoints that read request parameters (/profilez?seconds=N).
+  void add_query_handler(std::string path, QueryHandler handler);
 
   // Binds, listens, and starts the serving thread. Returns false (and fills
   // *error) on socket failures; the server is then inert and restartable.
@@ -80,13 +90,19 @@ class IntrospectionServer {
   std::uint16_t port() const noexcept { return port_; }
 
  private:
+  struct Endpoint {
+    std::string path;
+    Handler plain;        // exactly one of plain/query is set
+    QueryHandler query;
+  };
+
   void serve_loop();
   void handle_connection(int fd);
-  HttpResponse dispatch(const std::string& method,
-                        const std::string& path) const;
+  HttpResponse dispatch(const std::string& method, const std::string& path,
+                        const std::string& query) const;
 
   IntrospectionOptions options_;
-  std::vector<std::pair<std::string, Handler>> handlers_;
+  std::vector<Endpoint> handlers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_flag_{false};

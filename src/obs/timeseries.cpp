@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/perf_counters.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace parcycle {
@@ -210,6 +212,13 @@ void TimeSeriesSampler::sample_once(std::uint64_t now_ns) {
                       p99_search_ns_.latest(),
                       "Rolling p99 per-edge search latency over the sampler "
                       "window");
+  registry_.import_process();
+  if (options_.perf != nullptr) {
+    registry_.import_perf(*options_.perf);
+  }
+  if (options_.profiler != nullptr) {
+    registry_.import_profiler(*options_.profiler);
+  }
   slo_.export_to(registry_);
 
   has_prev_ = true;
@@ -295,6 +304,49 @@ std::string TimeSeriesSampler::render_statusz() const {
     append_kv_u64(out, "p99_ns", lane.latency_p99_ns);
     out += ' ';
     append_kv_u64(out, "max_ns", lane.latency_max_ns);
+    out += '\n';
+  }
+
+  if (options_.perf != nullptr && options_.perf->enabled()) {
+    if (options_.perf->available()) {
+      out += "perf:\n";
+      for (unsigned w = 0; w < options_.perf->num_workers(); ++w) {
+        const PerfCounts c = options_.perf->counts(w);
+        if (!c.available) {
+          continue;
+        }
+        out += "  worker=";
+        out += std::to_string(w);
+        out += " ipc=";
+        out += format_double(c.ipc());
+        out += " cache_miss_rate=";
+        out += format_double(c.cache_miss_rate());
+        out += ' ';
+        append_kv_u64(out, "cycles", c.cycles);
+        out += ' ';
+        append_kv_u64(out, "instructions", c.instructions);
+        out += ' ';
+        append_kv_u64(out, "branch_misses", c.branch_misses);
+        out += '\n';
+      }
+    } else {
+      out += "perf: unavailable (";
+      out += options_.perf->unavailable_reason().empty()
+                 ? "no groups opened yet"
+                 : options_.perf->unavailable_reason();
+      out += ")\n";
+    }
+  }
+
+  if (options_.profiler != nullptr && options_.profiler->enabled()) {
+    out += "profiler: ";
+    out += options_.profiler->sampling() ? "sampling" : "idle";
+    out += ' ';
+    append_kv_u64(out, "taken", options_.profiler->total_taken());
+    out += ' ';
+    append_kv_u64(out, "dropped", options_.profiler->total_dropped());
+    out += " clock=";
+    out += profile_clock_name(options_.profiler->options().clock);
     out += '\n';
   }
 

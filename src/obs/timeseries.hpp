@@ -39,6 +39,9 @@
 
 namespace parcycle {
 
+class PerfCounterGroups;
+class StackProfiler;
+
 struct TimeSeriesOptions {
   // Sampling cadence of the background thread (start()/stop()); tests drive
   // sample_once() directly with synthetic timestamps instead.
@@ -51,6 +54,12 @@ struct TimeSeriesOptions {
   double adaptive_budget_multiplier = 0.0;
   // Parsed by SloTracker::parse; empty = no objectives.
   std::string slo_spec;
+  // Optional profiling sources (obs/perf_counters.hpp, obs/profiler.hpp).
+  // When set they must outlive the sampler; each tick then imports
+  // parcycle_perf_* / parcycle_profile_* families and /statusz grows
+  // per-worker IPC and cache-miss-rate lines. nullptr = absent, free.
+  const PerfCounterGroups* perf = nullptr;
+  const StackProfiler* profiler = nullptr;
 };
 
 // Fixed-capacity (timestamp, value) ring; oldest samples overwritten.

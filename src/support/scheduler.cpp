@@ -52,6 +52,9 @@ Scheduler::Scheduler(unsigned num_threads, SchedulerOptions options)
   // The constructing thread is worker 0.
   tl_scheduler = this;
   tl_worker_id = 0;
+  if (options_.thread_observer != nullptr) {
+    options_.thread_observer->on_worker_start(0);
+  }
   threads_.reserve(num_workers_ - 1);
   for (unsigned i = 1; i < num_workers_; ++i) {
     threads_.emplace_back([this, i] { worker_main(i); });
@@ -69,6 +72,9 @@ Scheduler::~Scheduler() {
     thread.join();
   }
   note_idle(0);  // close worker 0's busy interval, if any
+  if (options_.thread_observer != nullptr) {
+    options_.thread_observer->on_worker_stop(0);
+  }
   tl_scheduler = nullptr;
   tl_worker_id = -1;
   // All groups must have been waited on before destruction; any task still in
@@ -82,6 +88,9 @@ Scheduler::~Scheduler() {
 void Scheduler::worker_main(unsigned worker_id) {
   tl_scheduler = this;
   tl_worker_id = static_cast<int>(worker_id);
+  if (options_.thread_observer != nullptr) {
+    options_.thread_observer->on_worker_start(worker_id);
+  }
   while (!shutdown_.load(std::memory_order_acquire)) {
     detail::TaskBase* task = find_task(worker_id);
     if (task != nullptr) {
@@ -109,6 +118,9 @@ void Scheduler::worker_main(unsigned worker_id) {
     num_sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
   note_idle(worker_id);
+  if (options_.thread_observer != nullptr) {
+    options_.thread_observer->on_worker_stop(worker_id);
+  }
   tl_scheduler = nullptr;
   tl_worker_id = -1;
 }

@@ -83,6 +83,47 @@ template <typename F>
 inline constexpr bool spawn_uses_slab_v =
     detail::task_fits_slab_v<detail::ClosureTask<std::decay_t<F>>>;
 
+// Worker-thread registry hook: the scheduler calls on_worker_start on each
+// worker's OWN thread once it is registered (worker 0 = the constructing
+// thread, inside the constructor; workers 1..N-1 at the top of their thread
+// main), and on_worker_stop on the same thread just before it leaves the
+// pool (thread exit for spawned workers, the destructor for worker 0).
+// This is the attach point for per-thread OS resources — the sampling
+// profiler's per-thread timers and the perf_event counter groups
+// (obs/profiler.hpp, obs/perf_counters.hpp) — which must be created and
+// torn down from the thread they measure. Hooks run outside the task hot
+// path (once per thread lifetime) and must not throw.
+class WorkerThreadObserver {
+ public:
+  virtual ~WorkerThreadObserver() = default;
+  virtual void on_worker_start(unsigned worker) noexcept = 0;
+  virtual void on_worker_stop(unsigned worker) noexcept = 0;
+};
+
+// Fans one observer slot out to several (profiler + counters). Stops run in
+// reverse registration order. Populate before constructing the Scheduler.
+class WorkerObserverChain final : public WorkerThreadObserver {
+ public:
+  void add(WorkerThreadObserver* observer) {
+    if (observer != nullptr) {
+      observers_.push_back(observer);
+    }
+  }
+  void on_worker_start(unsigned worker) noexcept override {
+    for (WorkerThreadObserver* observer : observers_) {
+      observer->on_worker_start(worker);
+    }
+  }
+  void on_worker_stop(unsigned worker) noexcept override {
+    for (auto it = observers_.rbegin(); it != observers_.rend(); ++it) {
+      (*it)->on_worker_stop(worker);
+    }
+  }
+
+ private:
+  std::vector<WorkerThreadObserver*> observers_;
+};
+
 // How WorkerStats::busy_ns is accounted.
 enum class TimingMode : std::uint8_t {
   // Timestamp only when a worker transitions between finding work and going
@@ -104,6 +145,9 @@ struct SchedulerOptions {
   // operator new/delete per task — only useful for measuring the slab's
   // effect (bench_micro spawn-throughput) and as a bisection escape hatch.
   bool use_task_slab = true;
+  // Per-thread attach/detach hook (see WorkerThreadObserver above). Must
+  // outlive the Scheduler. nullptr (the default) costs nothing anywhere.
+  WorkerThreadObserver* thread_observer = nullptr;
 };
 
 // Per-worker execution statistics; used by the Figure 1 reproduction

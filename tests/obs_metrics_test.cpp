@@ -231,5 +231,32 @@ TEST(MetricsRegistry, StreamImportMatchesStreamStats) {
   });
 }
 
+// Process-level gauges read straight from /proc/self: any live process has
+// resident memory, at least this one thread, and at least stdin/out/err
+// open. cpu_seconds_total is a double counter (not readable via value_u64)
+// so it is checked in the rendered text instead.
+TEST(MetricsRegistry, ProcessImportReportsPlausibleLiveValues) {
+  MetricsRegistry reg;
+  reg.import_process();
+  EXPECT_GT(
+      reg.value_u64("parcycle_process_resident_memory_bytes").value_or(0),
+      0u);
+  EXPECT_GE(reg.value_u64("parcycle_process_virtual_memory_bytes").value_or(0),
+            reg.value_u64("parcycle_process_resident_memory_bytes")
+                .value_or(0));
+  EXPECT_GE(reg.value_u64("parcycle_process_threads").value_or(0), 1u);
+  // The fd counter excludes the /proc/self/fd traversal's own descriptor,
+  // so stdin/stdout/stderr alone put the floor at 3.
+  EXPECT_GE(reg.value_u64("parcycle_process_open_fds").value_or(0), 3u);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("parcycle_process_cpu_seconds_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE parcycle_process_cpu_seconds_total counter"),
+            std::string::npos);
+  // Re-import is SET, not accumulate: values refresh rather than double.
+  reg.import_process();
+  EXPECT_GE(reg.value_u64("parcycle_process_threads").value_or(0), 1u);
+}
+
 }  // namespace
 }  // namespace parcycle

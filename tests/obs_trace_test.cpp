@@ -136,6 +136,55 @@ TEST(TraceRecorder, DisabledRecorderStaysEmptyAndAllocationFree) {
   EXPECT_EQ(rec.dropped(0), 0u);
 }
 
+// The /tracez renderer, tested directly rather than through a live server:
+// banner, per-worker retained/recorded/dropped line, one indented line per
+// event with the right kind tag, and newest-N truncation from the front.
+TEST(TraceRecorder, RenderTracezTextShowsNewestEventsPerWorker) {
+  TraceRecorder rec(2, 16, /*enabled=*/true);
+  rec.record_span(0, TraceName::kTask, 1000, 251000, 7);
+  rec.record_instant(0, TraceName::kSteal, 300000, 0);
+  rec.record_counter(1, TraceName::kLiveEdges, 400000, 42);
+  const std::string text = render_tracez_text(rec, 32);
+  EXPECT_NE(text.find("tracez: newest 32 events per worker "
+                      "(recorder enabled)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("worker 0: retained=2 recorded=2 dropped=0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("worker 1: retained=1 recorded=1 dropped=0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("span    task ts_us=1.000 dur_us=250.000 arg=7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("instant steal ts_us=300.000 arg=0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter live_edges ts_us=400.000 value=42"),
+            std::string::npos)
+      << text;
+
+  // last_n=1 keeps only the NEWEST event of worker 0: the steal instant
+  // survives, the older task span is cut.
+  const std::string tail = render_tracez_text(rec, 1);
+  EXPECT_NE(tail.find("instant steal"), std::string::npos) << tail;
+  EXPECT_EQ(tail.find("span    task"), std::string::npos) << tail;
+  // Truncation is display-only: the counter line still reports both.
+  EXPECT_NE(tail.find("worker 0: retained=2 recorded=2 dropped=0"),
+            std::string::npos)
+      << tail;
+
+  // A disabled recorder renders honestly as empty, not as an error.
+  TraceRecorder off(1, 16, /*enabled=*/false);
+  const std::string disabled = render_tracez_text(off, 32);
+  EXPECT_NE(disabled.find("(recorder disabled)"), std::string::npos)
+      << disabled;
+  EXPECT_NE(disabled.find("worker 0: retained=0 recorded=0 dropped=0"),
+            std::string::npos)
+      << disabled;
+}
+
 TEST(TraceRecorder, ClearResetsAllRings) {
   TraceRecorder rec(2, 8, /*enabled=*/true);
   for (int i = 0; i < 20; ++i) {

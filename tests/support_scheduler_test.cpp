@@ -406,6 +406,91 @@ TEST(Scheduler, ResetStatsZeroesCountersBetweenPhases) {
   EXPECT_GT(busy2, 0u);
 }
 
+// The thread_observer contract the profiler and perf-counter groups build
+// on: on_worker_start runs exactly once per worker id, ON that worker's own
+// thread, before any task; on_worker_stop runs once per worker at teardown.
+constexpr unsigned kObserverWorkers = 4;
+
+TEST(Scheduler, ThreadObserverSeesEveryWorkerOnItsOwnThread) {
+  struct Recorder final : WorkerThreadObserver {
+    std::array<std::atomic<int>, kObserverWorkers> starts{};
+    std::array<std::atomic<int>, kObserverWorkers> stops{};
+    std::array<std::thread::id, kObserverWorkers> start_threads{};
+    void on_worker_start(unsigned worker) noexcept override {
+      ASSERT_LT(worker, kObserverWorkers);
+      start_threads[worker] = std::this_thread::get_id();
+      starts[worker].fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_worker_stop(unsigned worker) noexcept override {
+      ASSERT_LT(worker, kObserverWorkers);
+      // Detach runs on the same thread that attached.
+      EXPECT_EQ(std::this_thread::get_id(), start_threads[worker]);
+      stops[worker].fetch_add(1, std::memory_order_relaxed);
+    }
+  } recorder;
+  constexpr unsigned kWorkers = kObserverWorkers;
+
+  SchedulerOptions options;
+  options.thread_observer = &recorder;
+  {
+    Scheduler sched(kWorkers, options);
+    TaskGroup group(sched);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 1000; ++i) {
+      group.spawn([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    group.wait();
+    EXPECT_EQ(counter.load(), 1000);
+    // Worker 0 is the constructing thread: its attach ran synchronously in
+    // the Scheduler constructor. Workers 1..N-1 attach on their own threads
+    // as they come up (a fast pool can drain the group before a slow thread
+    // launches, so their attach is only guaranteed by teardown). No stop
+    // hook fires while the pool is live.
+    EXPECT_EQ(recorder.starts[0].load(), 1);
+    EXPECT_EQ(recorder.start_threads[0], std::this_thread::get_id());
+    for (unsigned w = 0; w < kWorkers; ++w) {
+      EXPECT_LE(recorder.starts[w].load(), 1) << "worker " << w;
+      EXPECT_EQ(recorder.stops[w].load(), 0) << "worker " << w;
+    }
+  }
+  // Teardown joined every worker: each attached exactly once, detached
+  // exactly once, and workers 1..N-1 ran on distinct non-main threads.
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(recorder.starts[w].load(), 1) << "worker " << w;
+    EXPECT_EQ(recorder.stops[w].load(), 1) << "worker " << w;
+  }
+  for (unsigned a = 1; a < kWorkers; ++a) {
+    EXPECT_NE(recorder.start_threads[a], std::this_thread::get_id());
+    for (unsigned b = a + 1; b < kWorkers; ++b) {
+      EXPECT_NE(recorder.start_threads[a], recorder.start_threads[b]);
+    }
+  }
+}
+
+// The chain fans one observer slot out to several; stops run in reverse
+// registration order so dependent observers unwind LIFO.
+TEST(Scheduler, ObserverChainForwardsStartsAndReversesStops) {
+  struct Logger final : WorkerThreadObserver {
+    explicit Logger(std::vector<int>& log, int id) : log_(log), id_(id) {}
+    void on_worker_start(unsigned) noexcept override { log_.push_back(id_); }
+    void on_worker_stop(unsigned) noexcept override { log_.push_back(-id_); }
+    std::vector<int>& log_;
+    int id_;
+  };
+  std::vector<int> log;
+  Logger first(log, 1);
+  Logger second(log, 2);
+  WorkerObserverChain chain;
+  chain.add(&first);
+  chain.add(&second);
+  chain.add(nullptr);  // ignored, not a crash
+  chain.on_worker_start(0);
+  chain.on_worker_stop(0);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, -2, -1}));
+}
+
 TEST(Scheduler, ManySmallGroupsSequentially) {
   Scheduler sched(4);
   for (int round = 0; round < 200; ++round) {
